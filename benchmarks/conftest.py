@@ -1,0 +1,58 @@
+"""Shared configuration for the benchmark harness.
+
+Every table and figure of the paper's evaluation has a regenerating
+benchmark module here (see DESIGN.md §4 for the index).  Scales default
+to laptop-friendly values and can be raised towards the paper's original
+scales via environment variables:
+
+``REPRO_TRACES``        initial traces (paper: 50)          default 30
+``REPRO_TRACE_LEN``     initial trace length (paper: 50)    default 30
+``REPRO_BUDGET``        per-run budget seconds (paper: 10h) default 90
+``REPRO_BASELINE_OBS``  baseline observations (paper: 1M)   default 5000
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+TRACES = int(os.environ.get("REPRO_TRACES", "30"))
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "30"))
+BUDGET = float(os.environ.get("REPRO_BUDGET", "90"))
+BASELINE_OBS = int(os.environ.get("REPRO_BASELINE_OBS", "5000"))
+
+
+def table1_rows() -> list[tuple[str, str]]:
+    """All (benchmark, fsa) pairs: the rows of Table I."""
+    from repro.stateflow.library import benchmark_names, get_benchmark
+
+    rows = []
+    for name in benchmark_names():
+        for spec in get_benchmark(name).fsas:
+            rows.append((name, spec.name))
+    return rows
+
+
+@pytest.fixture(scope="session")
+def table1_report():
+    """Collects rows across tests and prints the table at session end."""
+    from repro.core import format_baseline_table, format_table
+
+    active_rows = []
+    baseline_rows = []
+    yield active_rows, baseline_rows
+    if active_rows:
+        print("\n\n" + "=" * 100)
+        print("TABLE I (reproduction) -- active learning algorithm")
+        print("=" * 100)
+        print(format_table(sorted(active_rows, key=lambda r: (r.benchmark, r.fsa))))
+    if baseline_rows:
+        print("\n" + "=" * 100)
+        print("TABLE I (reproduction) -- random-sampling baseline")
+        print("=" * 100)
+        print(
+            format_baseline_table(
+                sorted(baseline_rows, key=lambda r: (r.benchmark, r.fsa))
+            )
+        )

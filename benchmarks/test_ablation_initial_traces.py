@@ -1,0 +1,69 @@
+"""Ablation: learning iterations vs initial trace coverage (paper §IV-B.3).
+
+The paper observes that the number of learning iterations depends on how
+much of ``Traces_X(S)`` the initial trace set already covers: the richer
+the initial set, the fewer refinement rounds.  This benchmark sweeps the
+initial trace budget on a benchmark whose behaviours need specific input
+sequences (the ladder-logic scheduler) and checks the monotone trend.
+
+Also asserts the §IV-B.3 growth law along the run: ``L(M_j)`` grows
+monotonically, observed through the mode-learner's state counts.
+
+Run:  pytest benchmarks/test_ablation_initial_traces.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import run_active
+from repro.stateflow.library import get_benchmark
+
+BUDGETS = [1, 5, 20, 60]
+
+
+def _iterations_for(initial_traces: int) -> int:
+    bench = get_benchmark("LadderLogicScheduler")
+    out = run_active(
+        bench,
+        bench.fsa("Ladder"),
+        initial_traces=initial_traces,
+        trace_length=5,
+        seed=3,
+        budget_seconds=60.0,
+    )
+    assert out.row.alpha == 1.0
+    return out.row.iterations
+
+
+def test_iteration_count_vs_initial_coverage(benchmark):
+    def sweep():
+        return {count: _iterations_for(count) for count in BUDGETS}
+
+    iterations = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print(f"\ninitial traces -> learning iterations: {iterations}")
+    # Starved initial sets need refinement; saturated ones converge fast.
+    assert iterations[BUDGETS[0]] >= iterations[BUDGETS[-1]]
+    assert iterations[BUDGETS[0]] >= 2
+    assert iterations[BUDGETS[-1]] >= 1
+
+
+@pytest.mark.parametrize("count", [1, 10])
+def test_model_growth_is_monotone(benchmark, count):
+    """State counts never shrink across iterations (mode learner)."""
+    bench = get_benchmark("SequenceRecognitionUsingMealyAndMooreChart")
+
+    def run():
+        return run_active(
+            bench,
+            bench.fsa("Detect"),
+            initial_traces=count,
+            trace_length=3,
+            seed=1,
+            budget_seconds=60.0,
+        )
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    sizes = [record.num_states for record in out.result.records]
+    assert sizes == sorted(sizes)
+    assert out.row.alpha == 1.0

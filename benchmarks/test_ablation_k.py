@@ -1,0 +1,119 @@
+"""Ablation: sensitivity to the counterexample-validity bound ``k``.
+
+Paper §III-C and §IV-B: with the literal Fig. 3b k-induction check, a
+``k`` below the relevant reachability depth leaves some spuriousness
+checks inconclusive; those counterexamples are treated as valid, so
+*spurious behaviours are added to the learned model* -- extra automaton
+states whose modes the implementation can never exhibit.  Crucially the
+model still admits every system trace: α = 1 regardless of ``k``.
+
+The system under learning is crafted so that spurious counterexamples
+defeat shallow induction.  Mode ``m ∈ {A, B, C}`` with a counter
+``c ∈ [0, 7]``:
+
+* in A: ``go`` moves to B with c = 0;
+* in B: c cycles over the evens (c' = c+2 mod 8-ish), ``reset`` returns
+  to A, and **dead code** jumps to C when c = 7;
+* odd counter values form an unreachable chain 1 → 3 → 5 → 7, so the
+  observation (B, c=7) -- the only gateway to C -- is unreachable, but
+  proving that needs induction depth ≥ 4.
+
+With ``k = 1`` the checker cannot refute the (B,7) counterexample, the
+loop splices it in, and the learned model grows a spurious C state.
+With ``k = 4`` the spuriousness proof succeeds and the model is exact.
+
+Run:  pytest benchmarks/test_ablation_k.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ActiveLearner
+from repro.expr import BOOL, Var, enum_sort, int_sort, ite, land
+from repro.learn import T2MLearner
+from repro.system import make_system
+from repro.traces import random_traces
+
+MODE = enum_sort("M", "A", "B", "C")
+
+
+def chain_system():
+    m = Var("m", MODE)
+    c = Var("c", int_sort(0, 7))
+    go = Var("go", BOOL)
+    reset = Var("reset", BOOL)
+
+    in_a, in_b, in_c = m.eq("A"), m.eq("B"), m.eq("C")
+    next_m = ite(
+        land(in_a, go.prime()), 1,
+        ite(
+            land(in_b, reset.prime()), 0,
+            ite(land(in_b, c.eq(7)), 2, m),  # dead code: odd c unreachable
+        ),
+    )
+    cycle = ite(c < 6, c + 2, 0)
+    next_c = ite(
+        land(in_a, go.prime()), 0,
+        ite(
+            land(in_b, reset.prime()), 0,
+            ite(in_b, cycle, c),
+        ),
+    )
+    return make_system(
+        "chain", [m, c], [go, reset], {"m": 0, "c": 0},
+        {m: next_m, c: next_c},
+    )
+
+
+def _run(k: int):
+    system = chain_system()
+    learner = T2MLearner(
+        mode_vars=["m"],
+        variables={v.name: v for v in system.variables},
+        prefer_vars=["go", "reset"],
+    )
+    traces = random_traces(system, count=10, length=10, seed=2)
+    active = ActiveLearner(
+        system,
+        learner,
+        k=k,
+        spurious_engine="kinduction",
+        max_iterations=30,
+    )
+    return active.run(traces)
+
+
+def _learned_modes(result) -> set[str]:
+    return {result.model.state_name(q) for q in result.model.states}
+
+
+def test_poor_k_adds_spurious_behaviour(benchmark):
+    result = benchmark.pedantic(lambda: _run(1), iterations=1, rounds=1)
+    modes = _learned_modes(result)
+    print(f"\nk=1: α={result.alpha}, N={result.num_states}, modes={sorted(modes)}")
+    # α = 1 is guaranteed irrespective of k (paper §III-C)...
+    assert result.alpha == 1.0
+    # ...but the weak induction let the unreachable C mode creep in.
+    assert "C" in modes, "expected the spurious C mode with k=1"
+    assert result.recorded_inconclusive > 0
+
+
+def test_adequate_k_is_exact(benchmark):
+    result = benchmark.pedantic(lambda: _run(4), iterations=1, rounds=1)
+    modes = _learned_modes(result)
+    print(f"\nk=4: α={result.alpha}, N={result.num_states}, modes={sorted(modes)}")
+    assert result.alpha == 1.0
+    assert modes == {"A", "B"}
+    assert result.num_states == 2
+    assert result.recorded_inconclusive == 0
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_alpha_one_for_any_k(benchmark, k):
+    """Paper: "learned models are guaranteed to admit all system traces
+    defined over X, irrespective of the value for k"."""
+    result = benchmark.pedantic(lambda: _run(k), iterations=1, rounds=1)
+    assert result.alpha == 1.0
+    fresh = random_traces(chain_system(), count=20, length=20, seed=11)
+    assert result.model.admits_all(fresh)

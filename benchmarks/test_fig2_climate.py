@@ -1,0 +1,68 @@
+"""Fig. 2: the learned Home Climate-Control Cooler abstraction.
+
+The paper's only rendered model.  This benchmark re-learns it from the
+HomeClimateControl benchmark and asserts the exact published structure:
+
+* two states (Off-mode and On-mode) with one of them initial;
+* a self-loop on each state guarded only by the mode predicate;
+* the Off→On edge carries ``(temp > T_thresh) ∧ (s' = On)``;
+* the On→Off edge carries ``¬(temp > T_thresh) ∧ (s' = Off)``.
+
+Run:  pytest benchmarks/test_fig2_climate.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from conftest import BUDGET, TRACE_LEN, TRACES
+from repro.automata import guard_label, to_text
+from repro.evaluation import run_active
+from repro.stateflow.library import get_benchmark
+
+T_THRESH = 30
+
+
+def _learn():
+    bench = get_benchmark("HomeClimateControlUsingTheTruthtableBlock")
+    spec = bench.fsa("Cooler")
+    return run_active(
+        bench,
+        spec,
+        initial_traces=TRACES,
+        trace_length=TRACE_LEN,
+        budget_seconds=BUDGET,
+    )
+
+
+def test_fig2_structure(benchmark):
+    out = benchmark.pedantic(_learn, iterations=1, rounds=1)
+    model = out.result.model
+    bench = get_benchmark("HomeClimateControlUsingTheTruthtableBlock")
+    state_names = [v.name for v in bench.system.state_vars]
+
+    print("\n" + to_text(model, title="Fig. 2 reproduction", primed_names=state_names))
+
+    assert out.row.alpha == 1.0 and out.d == 1.0
+    assert model.num_states == 2
+    assert model.num_transitions == 4
+    assert len(model.initial_states) == 1
+
+    off = model.state_by_name("Off")
+    on = model.state_by_name("On")
+    assert off is not None and on is not None
+
+    def edges(src, dst):
+        return [t for t in model.outgoing(src) if t.dst == dst]
+
+    # Self-loops: plain mode predicates (paper: (s' = Off) / (s' = On)).
+    (off_loop,) = edges(off, off)
+    (on_loop,) = edges(on, on)
+    assert guard_label(off_loop.guard, ["Cooler"]) == "Cooler' = Off"
+    assert guard_label(on_loop.guard, ["Cooler"]) == "Cooler' = On"
+
+    # Switching edges carry the synthesised temperature threshold.
+    (heat,) = edges(off, on)
+    (cool,) = edges(on, off)
+    heat_label = guard_label(heat.guard, ["Cooler"])
+    cool_label = guard_label(cool.guard, ["Cooler"])
+    assert heat_label == f"temp > {T_THRESH} ∧ Cooler' = On"
+    assert cool_label == f"¬(temp > {T_THRESH}) ∧ Cooler' = Off"

@@ -1,0 +1,75 @@
+"""Table I, right-hand columns: the random-sampling baseline (§IV-C).
+
+The paper executes each benchmark on one million random inputs, learns a
+model passively, and finds that for ~50 % of benchmarks the result still
+misses behaviour (α < 1); T2M crashes on 7 of them.  This harness
+regenerates those columns at a laptop scale (``REPRO_BASELINE_OBS``
+observations) and asserts the headline claim: a substantial fraction of
+benchmarks is *not* covered by random sampling, while the active
+algorithm covers all of them (test_table1_active).
+
+Run:  pytest benchmarks/test_table1_random.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BASELINE_OBS, table1_rows
+from repro.evaluation import run_random_baseline
+from repro.stateflow.library import get_benchmark
+
+# Benchmarks whose guarded/timed behaviour random sampling keeps missing
+# at this scale (deep counters, rare input sequences).  These mirror the
+# paper's α < 1 rows qualitatively (measured at the default seed).
+_INCOMPLETE_EXPECTED = {
+    ("FrameSyncController", "Sync"),
+    ("AutomaticTransmissionUsingDurationOperator", "Gear"),
+    ("ModelingACdPlayerradioUsingEnumeratedDataType", "BehaviourModel DiscPresent"),
+    ("ModelingALaunchAbortSystem", "Overall"),
+}
+
+
+@pytest.mark.parametrize("name,fsa", table1_rows())
+def test_baseline_row(benchmark, table1_report, name, fsa):
+    bench = get_benchmark(name)
+    spec = bench.fsa(fsa)
+
+    def run():
+        return run_random_baseline(
+            bench, spec, num_observations=BASELINE_OBS
+        )
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    table1_report[1].append(out.row)
+    assert 0.0 <= out.alpha <= 1.0
+    assert out.num_states >= 1
+
+
+def test_random_sampling_misses_behaviour(benchmark, table1_report):
+    """The §IV-C claim: random sampling alone leaves α < 1 on a
+    meaningful fraction of the benchmark suite."""
+
+    def sweep():
+        rows = []
+        for name, fsa in table1_rows():
+            bench = get_benchmark(name)
+            out = run_random_baseline(
+                bench, bench.fsa(fsa), num_observations=BASELINE_OBS
+            )
+            rows.append(((name, fsa), out.alpha))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    incomplete = [key for key, alpha in rows if alpha < 1.0]
+    fraction = len(incomplete) / len(rows)
+    print(
+        f"\nrandom sampling incomplete on {len(incomplete)}/{len(rows)} "
+        f"FSAs ({fraction:.0%}): {sorted(k[0] for k in incomplete)}"
+    )
+    # The paper reports ~50% of benchmarks; at laptop scale we require at
+    # least a meaningful fraction and that the known-hard cases show up.
+    assert fraction >= 0.1
+    for key in _INCOMPLETE_EXPECTED:
+        alpha = dict(rows)[key]
+        assert alpha < 1.0, f"{key} unexpectedly complete (α={alpha})"

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Demonstrate the pluggable model-learning component (paper §II-B).
+
+The active-learning loop only requires "an NFA accepting at least the
+input traces" from its learner.  This example runs the *same* loop on
+the same system with three very different learners and compares the
+resulting abstractions:
+
+* T2M-style (mode states + synthesised guards)  -- the paper's choice,
+* k-tails state merging (purely syntactic),
+* SAT-minimal DFA identification (maximally permissive on positive data).
+
+All three converge to α = 1 -- Theorem 1 doesn't care which learner is
+used -- but the abstractions differ in size and informativeness.
+
+Run:  python examples/pluggable_learners.py
+"""
+
+from repro.automata import to_text
+from repro.core import ActiveLearner
+from repro.learn import KTailsLearner, SatDfaLearner, T2MLearner
+from repro.stateflow.library import get_benchmark
+from repro.traces import random_traces
+
+
+def main() -> None:
+    benchmark = get_benchmark("SequenceRecognitionUsingMealyAndMooreChart")
+    system = benchmark.system
+    variables = {v.name: v for v in system.variables}
+    mode_vars = ["Detect"]
+    state_names = [v.name for v in system.state_vars]
+
+    learners = {
+        "T2M-style (paper)": T2MLearner(
+            mode_vars=mode_vars, variables=variables,
+            prefer_vars=list(system.input_names),
+        ),
+        "k-tails (k=2)": KTailsLearner(
+            k=2, mode_vars=mode_vars, variables=variables
+        ),
+        "SAT-minimal DFA": SatDfaLearner(
+            mode_vars=mode_vars, variables=variables
+        ),
+    }
+
+    traces = random_traces(system, count=20, length=20, seed=5)
+    for name, learner in learners.items():
+        active = ActiveLearner(system, learner, k=benchmark.k)
+        result = active.run(traces.copy())
+        print("=" * 72)
+        print(f"{name}: α={result.alpha}  N={result.num_states}  "
+              f"i={result.iterations}  converged={result.converged}")
+        print(to_text(result.model, title="abstraction", primed_names=state_names))
+        print()
+
+    print(
+        "All learners satisfy Theorem 1; the T2M-style component yields the\n"
+        "most informative abstraction, which is why the paper uses it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: learn a complete abstraction of a small system.
+
+Builds the paper's running example (the Home Climate-Control cooler of
+Fig. 2) from scratch -- a symbolic system with a temperature input and a
+two-state mode -- then runs the active learning loop and prints:
+
+* the learned abstraction in the paper's notation,
+* the extracted invariants (the completeness conditions that now hold),
+* the per-iteration refinement record.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.automata import to_text
+from repro.core import ActiveLearner, render_invariants
+from repro.expr import Var, enum_sort, int_sort, ite
+from repro.learn import T2MLearner
+from repro.system import make_system
+from repro.traces import random_traces
+
+T_THRESH = 30
+
+
+def build_cooler():
+    """The system S = (X, X', R, Init): a thermostat-driven cooler."""
+    temp = Var("temp", int_sort(0, 60))
+    mode = Var("s", enum_sort("Mode", "Off", "On"))
+    return make_system(
+        name="cooler",
+        state_vars=[mode],
+        input_vars=[temp],
+        init_state={"s": 0},
+        # R: the next mode follows the next temperature reading.
+        next_exprs={mode: ite(temp.prime() > T_THRESH, 1, 0)},
+        # Guard-boundary inputs for the explicit-state engine.
+        input_samples=[{"temp": t} for t in (0, T_THRESH, T_THRESH + 1, 60)],
+    )
+
+
+def main() -> None:
+    system = build_cooler()
+
+    # The pluggable model-learning component (paper §II-B): a T2M-style
+    # learner that treats the mode variable as the automaton state and
+    # synthesises input predicates for the switching edges.
+    learner = T2MLearner(
+        mode_vars=["s"],
+        variables={v.name: v for v in system.variables},
+        prefer_vars=["temp"],
+    )
+
+    # Deliberately starve the learner: two short random traces.  The
+    # completeness conditions will expose whatever behaviour is missing.
+    initial = random_traces(system, count=2, length=3, seed=7)
+
+    active = ActiveLearner(system, learner, k=10)
+    result = active.run(initial)
+
+    print(to_text(result.model, title="Learned abstraction", primed_names=["s"]))
+    print()
+    print(f"degree of completeness α = {result.alpha}")
+    print(f"learning iterations     i = {result.iterations}")
+    print(f"final trace count         = {result.final_trace_count}")
+    print()
+    print("Invariants extracted from the final model (paper §VI):")
+    print(render_invariants(result.invariants))
+    print()
+    print("Refinement history:")
+    for record in result.records:
+        print(
+            f"  iter {record.index}: N={record.num_states} "
+            f"conditions={record.conditions} violations={record.violations} "
+            f"α={record.alpha:.2f} new traces={record.new_traces}"
+        )
+
+    # Theorem 1 in action: the final model admits any fresh system run.
+    fresh = random_traces(system, count=50, length=50, seed=99)
+    assert result.model.admits_all(fresh), "Theorem 1 violated?!"
+    print("\nTheorem 1 check: 50 fresh random traces all admitted ✓")
+
+
+if __name__ == "__main__":
+    main()

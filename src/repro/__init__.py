@@ -1,0 +1,23 @@
+"""repro: Active Learning of Abstract System Models from Traces using Model Checking.
+
+Reproduction of Jeppu, Melham & Kroening, DATE 2022 (arXiv:2112.05990).
+
+The package is organised bottom-up:
+
+* :mod:`repro.expr`     -- typed expression IR (guards, relations, predicates)
+* :mod:`repro.sat`      -- CDCL SAT solver and Tseitin gates
+* :mod:`repro.smt`      -- bit-blaster and SMT-style facade
+* :mod:`repro.system`   -- the formal system model S = (X, X', R, Init)
+* :mod:`repro.mc`       -- BMC / k-induction / explicit-state model checking
+* :mod:`repro.traces`   -- traces, trace sets, random-input generation
+* :mod:`repro.automata` -- symbolic NFAs with predicate-labelled edges
+* :mod:`repro.learn`    -- pluggable model-learning components (T2M-style &c.)
+* :mod:`repro.core`     -- the paper's active-learning algorithm
+* :mod:`repro.stateflow`-- Stateflow-like chart DSL, flattener, code generator
+* :mod:`repro.bdd`      -- ROBDD manager (symbolic reachability back-end)
+* :mod:`repro.evaluation`-- Table I runners incl. the random-sampling baseline
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,32 @@
+"""Automata substrate: symbolic NFAs, rendering, ground-truth comparison."""
+
+from .inclusion import (
+    InclusionResult,
+    check_trace_inclusion,
+    verify_theorem1,
+)
+from .minimize import minimize_bisimulation
+from .compare import (
+    MatchReport,
+    TransitionWitness,
+    transition_match_report,
+    transition_match_score,
+)
+from .nfa import SymbolicNFA, Transition
+from .render import guard_label, to_dot, to_text
+
+__all__ = [
+    "InclusionResult",
+    "MatchReport",
+    "SymbolicNFA",
+    "Transition",
+    "TransitionWitness",
+    "check_trace_inclusion",
+    "guard_label",
+    "minimize_bisimulation",
+    "to_dot",
+    "to_text",
+    "transition_match_report",
+    "transition_match_score",
+    "verify_theorem1",
+]

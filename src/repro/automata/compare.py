@@ -1,0 +1,64 @@
+"""Comparison of a learned abstraction against ground truth.
+
+The paper's quality score ``d`` is "the fraction of state transitions in
+the Stateflow model that match corresponding transitions in the
+abstraction" (§IV-B).  We operationalise "matches" behaviourally: the
+flattener supplies, for every ground-truth transition, a *witness* -- a
+concrete execution trace that ends by exercising exactly that transition
+-- and the transition counts as matched iff the abstraction admits its
+witness.  A model with ``α = 1`` admits every system trace, hence scores
+``d = 1`` exactly as in Table I; passively learned models miss the
+witnesses of unexercised transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..traces.trace import Trace
+from .nfa import SymbolicNFA
+
+
+@dataclass(frozen=True)
+class TransitionWitness:
+    """One ground-truth transition plus a trace exercising it."""
+
+    src: str
+    dst: str
+    label: str
+    witness: Trace
+
+
+@dataclass
+class MatchReport:
+    """Detailed outcome of a ground-truth comparison."""
+
+    total: int
+    matched: int
+    missing: list[TransitionWitness] = field(default_factory=list)
+
+    @property
+    def score(self) -> float:
+        """The paper's ``d``."""
+        if self.total == 0:
+            return 1.0
+        return self.matched / self.total
+
+
+def transition_match_report(
+    nfa: SymbolicNFA, witnesses: list[TransitionWitness]
+) -> MatchReport:
+    """Score the abstraction against ground-truth transition witnesses."""
+    missing = [w for w in witnesses if not nfa.admits(w.witness)]
+    return MatchReport(
+        total=len(witnesses),
+        matched=len(witnesses) - len(missing),
+        missing=missing,
+    )
+
+
+def transition_match_score(
+    nfa: SymbolicNFA, witnesses: list[TransitionWitness]
+) -> float:
+    """The paper's ``d`` in one call."""
+    return transition_match_report(nfa, witnesses).score

@@ -1,0 +1,108 @@
+"""Trace-inclusion verification: an independent check of Theorem 1.
+
+The paper's Definition 2 introduces a simulation relation between the
+system ``S`` and the abstraction ``M`` whose existence implies
+``Traces_X(S) ⊆ L(M)``.  This module *decides* that inclusion for the
+finite systems of the reproduction by exploring the product of the
+system's reachable states with the NFA's state sets (the standard
+subset construction on the fly):
+
+* a product node is ``(system state, set of NFA states)``;
+* for every representative input, the system steps and the NFA reads
+  the resulting observation;
+* an empty NFA state set is a dead end -- the path to it is a system
+  trace the abstraction rejects, returned as a counterexample.
+
+This gives the test suite (and users) a way to *verify* the active
+loop's guarantee after convergence, independently of the condition
+checker that produced it.  Exhaustiveness is relative to the system's
+representative inputs (exact for the benchmark charts, whose samples
+cover every guard region).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..system.transition_system import SymbolicSystem
+from ..system.valuation import Valuation
+from ..traces.trace import Trace
+from .nfa import SymbolicNFA
+
+
+@dataclass
+class InclusionResult:
+    """Outcome of a trace-inclusion check."""
+
+    included: bool
+    counterexample: Trace | None = None
+    product_states: int = 0
+
+    def __bool__(self) -> bool:
+        return self.included
+
+
+def check_trace_inclusion(
+    system: SymbolicSystem,
+    nfa: SymbolicNFA,
+    max_product_states: int = 200_000,
+) -> InclusionResult:
+    """Decide ``Traces_X(S) ⊆ L(M)`` over the representative inputs.
+
+    Returns a shortest rejected execution trace when inclusion fails.
+    """
+    inputs = system.enumerate_inputs()
+    state_names = system.state_names
+    initial_nfa = frozenset(nfa.initial_states)
+    if not initial_nfa:
+        # No initial automaton state: every (even empty) trace rejected.
+        return InclusionResult(included=False, counterexample=Trace([]))
+
+    start = (system.init_state.key(state_names), initial_nfa)
+    # node -> (parent node | None, observation | None)
+    table: dict[tuple, tuple[tuple | None, Valuation | None]] = {start: (None, None)}
+    frontier: deque[tuple[tuple[int, ...], frozenset[int]]] = deque([start])
+
+    def rebuild(node: tuple) -> Trace:
+        observations: list[Valuation] = []
+        cursor = node
+        while True:
+            parent, observation = table[cursor]
+            if parent is None:
+                break
+            observations.append(observation)
+            cursor = parent
+        observations.reverse()
+        return Trace(observations)
+
+    while frontier:
+        state_key, nfa_states = frontier.popleft()
+        state = dict(zip(state_names, state_key))
+        for input_valuation in inputs:
+            next_state = system.step(state, input_valuation)
+            observation = system.observe(next_state, input_valuation)
+            successors = frozenset(nfa.successors(nfa_states, observation))
+            node = (next_state.key(state_names), successors)
+            if node in table:
+                continue
+            table[node] = ((state_key, nfa_states), observation)
+            if not successors:
+                return InclusionResult(
+                    included=False,
+                    counterexample=rebuild(node),
+                    product_states=len(table),
+                )
+            if len(table) >= max_product_states:
+                raise RuntimeError(
+                    f"product exploration exceeded {max_product_states} states"
+                )
+            frontier.append(node)
+    return InclusionResult(included=True, product_states=len(table))
+
+
+def verify_theorem1(
+    system: SymbolicSystem, nfa: SymbolicNFA
+) -> InclusionResult:
+    """Alias with the paper's framing: verify the α = 1 guarantee."""
+    return check_trace_inclusion(system, nfa)

@@ -1,0 +1,202 @@
+"""Symbolic NFAs: the learned abstractions (paper §II-A).
+
+``M = (Q, Q0, Σ, F, δ)`` over the infinite alphabet of valuations:
+transitions carry predicates over the observables, all states are
+accepting, and a trace is rejected only by running into a dead end.  The
+language is prefix-closed by construction.
+
+States are integers; an optional name (typically the observed mode, e.g.
+``"On"``) aids rendering and ground-truth comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..expr.ast import Expr, free_vars
+from ..expr.eval import holds
+from ..system.valuation import Valuation
+from ..traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class Transition:
+    """An edge ``src --guard--> dst``; the guard reads one observation."""
+
+    src: int
+    guard: Expr
+    dst: int
+
+    def enabled(self, observation: Valuation) -> bool:
+        return holds(self.guard, observation)
+
+
+class SymbolicNFA:
+    """A mutable symbolic NFA (builders construct, algorithms query)."""
+
+    def __init__(self) -> None:
+        self._names: list[str | None] = []
+        self._initial: set[int] = set()
+        self._transitions: list[Transition] = []
+        self._out: dict[int, list[Transition]] = {}
+        self._in: dict[int, list[Transition]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_state(self, name: str | None = None, initial: bool = False) -> int:
+        state = len(self._names)
+        self._names.append(name)
+        self._out[state] = []
+        self._in[state] = []
+        if initial:
+            self._initial.add(state)
+        return state
+
+    def mark_initial(self, state: int) -> None:
+        self._check_state(state)
+        self._initial.add(state)
+
+    def add_transition(self, src: int, guard: Expr, dst: int) -> Transition:
+        self._check_state(src)
+        self._check_state(dst)
+        if not guard.sort.is_bool():
+            raise TypeError(f"guard must be boolean, got sort {guard.sort}")
+        transition = Transition(src, guard, dst)
+        if transition in self._transitions:
+            return transition
+        self._transitions.append(transition)
+        self._out[src].append(transition)
+        self._in[dst].append(transition)
+        return transition
+
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < len(self._names):
+            raise ValueError(f"unknown state {state}")
+
+    def copy(self) -> "SymbolicNFA":
+        dup = SymbolicNFA()
+        for state in self.states:
+            dup.add_state(self._names[state], initial=state in self._initial)
+        for transition in self._transitions:
+            dup.add_transition(transition.src, transition.guard, transition.dst)
+        return dup
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self._transitions)
+
+    @property
+    def states(self) -> range:
+        return range(len(self._names))
+
+    @property
+    def initial_states(self) -> frozenset[int]:
+        return frozenset(self._initial)
+
+    @property
+    def transitions(self) -> tuple[Transition, ...]:
+        return tuple(self._transitions)
+
+    def state_name(self, state: int) -> str:
+        self._check_state(state)
+        return self._names[state] or f"q{state}"
+
+    def set_state_name(self, state: int, name: str) -> None:
+        self._check_state(state)
+        self._names[state] = name
+
+    def state_by_name(self, name: str) -> int | None:
+        for state, state_name in enumerate(self._names):
+            if state_name == name:
+                return state
+        return None
+
+    def outgoing(self, state: int) -> tuple[Transition, ...]:
+        self._check_state(state)
+        return tuple(self._out[state])
+
+    def incoming(self, state: int) -> tuple[Transition, ...]:
+        self._check_state(state)
+        return tuple(self._in[state])
+
+    def variables(self) -> set[str]:
+        """Names of all variables mentioned in guards."""
+        names: set[str] = set()
+        for transition in self._transitions:
+            names.update(v.qualified_name for v in free_vars(transition.guard))
+        return names
+
+    # ------------------------------------------------------------------
+    # language
+    # ------------------------------------------------------------------
+    def successors(self, states: Iterable[int], observation: Valuation) -> set[int]:
+        """One NFA step: all states reachable by reading ``observation``."""
+        reached: set[int] = set()
+        for state in states:
+            for transition in self._out[state]:
+                if transition.dst not in reached and transition.enabled(observation):
+                    reached.add(transition.dst)
+        return reached
+
+    def run(self, trace: Trace | Sequence[Valuation]) -> list[set[int]]:
+        """State sets after each observation (stops early on dead end).
+
+        ``result[0]`` is the initial state set; ``result[t]`` the set after
+        reading ``t`` observations.  If the trace is rejected the last
+        entry is the empty set and the run is truncated there.
+        """
+        current = set(self._initial)
+        sets = [set(current)]
+        for observation in trace:
+            current = self.successors(current, observation)
+            sets.append(set(current))
+            if not current:
+                break
+        return sets
+
+    def admits(self, trace: Trace | Sequence[Valuation]) -> bool:
+        """Trace admission (all states accepting; dead end = reject)."""
+        current = set(self._initial)
+        if not current:
+            return False
+        for observation in trace:
+            current = self.successors(current, observation)
+            if not current:
+                return False
+        return True
+
+    def admits_all(self, traces: Iterable[Trace]) -> bool:
+        return all(self.admits(trace) for trace in traces)
+
+    def rejects(self, trace: Trace | Sequence[Valuation]) -> bool:
+        return not self.admits(trace)
+
+    def admitted_prefix_length(self, trace: Trace | Sequence[Valuation]) -> int:
+        """Length of the longest admitted prefix (paper Theorem 1 proof)."""
+        run = self.run(trace)
+        length = 0
+        for step, states in enumerate(run[1:], start=1):
+            if not states:
+                break
+            length = step
+        return length
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"SymbolicNFA(states={self.num_states}, "
+            f"transitions={self.num_transitions}, "
+            f"initial={sorted(self._initial)})"
+        )
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self._transitions)

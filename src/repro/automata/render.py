@@ -1,0 +1,82 @@
+"""Rendering of learned abstractions: DOT, ASCII tables, paper notation.
+
+The paper's figures write state variables primed on edge labels --
+``(inp.temp > T_thresh) ∧ (s' = On)`` -- because an observation records
+the state *after* the step.  :func:`guard_label` applies that convention:
+guards are stored over unprimed observables, and the variables named in
+``primed_names`` (the state variables) are primed for display only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..expr.ast import Expr, Var
+from ..expr.printer import to_str
+from ..expr.subst import transform
+from .nfa import SymbolicNFA
+
+
+def _prime_for_display(guard: Expr, primed_names: set[str]) -> Expr:
+    def leaf(node: Expr) -> Expr:
+        if isinstance(node, Var) and not node.primed and node.name in primed_names:
+            return node.prime()
+        return node
+
+    return transform(guard, leaf)
+
+
+def guard_label(
+    guard: Expr, primed_names: Iterable[str] = (), style: str = "paper"
+) -> str:
+    """Paper-style edge label with state variables primed."""
+    display = _prime_for_display(guard, set(primed_names))
+    return to_str(display, style=style)
+
+
+def to_dot(
+    nfa: SymbolicNFA,
+    title: str = "abstraction",
+    primed_names: Iterable[str] = (),
+) -> str:
+    """Graphviz DOT rendering of the abstraction."""
+    primed = set(primed_names)
+    lines = [
+        f'digraph "{title}" {{',
+        "    rankdir=LR;",
+        '    node [shape=circle, fontname="Helvetica"];',
+        '    edge [fontname="Helvetica"];',
+        '    __start [shape=point, style=invis];',
+    ]
+    for state in nfa.states:
+        lines.append(f'    q{state} [label="{nfa.state_name(state)}"];')
+    for state in sorted(nfa.initial_states):
+        lines.append(f"    __start -> q{state};")
+    for transition in nfa.transitions:
+        label = guard_label(transition.guard, primed, style="plain")
+        escaped = label.replace('"', '\\"')
+        lines.append(
+            f'    q{transition.src} -> q{transition.dst} [label="{escaped}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(
+    nfa: SymbolicNFA,
+    title: str = "abstraction",
+    primed_names: Iterable[str] = (),
+) -> str:
+    """Readable ASCII summary, one line per transition (paper notation)."""
+    primed = set(primed_names)
+    lines = [
+        f"{title}: {nfa.num_states} states, {nfa.num_transitions} transitions",
+        f"initial: {', '.join(nfa.state_name(q) for q in sorted(nfa.initial_states))}",
+    ]
+    for transition in nfa.transitions:
+        label = guard_label(transition.guard, primed)
+        lines.append(
+            f"  {nfa.state_name(transition.src)} --[{label}]--> "
+            f"{nfa.state_name(transition.dst)}"
+        )
+    return "\n".join(lines)

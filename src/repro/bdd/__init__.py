@@ -1,0 +1,5 @@
+"""BDD substrate: reduced ordered binary decision diagrams."""
+
+from .manager import BddManager
+
+__all__ = ["BddManager"]

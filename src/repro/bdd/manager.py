@@ -1,0 +1,284 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+A compact BDD package supporting what symbolic reachability needs:
+hash-consed nodes, memoised ``ite``-based apply, restriction,
+existential quantification over variable sets, variable renaming, and
+model counting.  Variables are non-negative integers ordered by value
+(callers choose an interleaved current/next ordering for good image
+computation behaviour, as is standard in symbolic model checking).
+
+Nodes are integers indexing into the manager's tables; 0 and 1 are the
+terminals.  This representation keeps the hot paths allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+
+class BddManager:
+    """Owns the node store and the operation caches."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self) -> None:
+        # node id -> (var, low, high); terminals use var = -1 sentinel.
+        self._var: list[int] = [-1, -1]
+        self._low: list[int] = [0, 0]
+        self._high: list[int] = [0, 0]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._exists_cache: dict[tuple[int, frozenset[int]], int] = {}
+        self._rename_cache: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """The BDD of variable ``index``."""
+        if index < 0:
+            raise ValueError(f"variable index must be >= 0, got {index}")
+        return self._mk(index, self.FALSE, self.TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD of ``¬variable``."""
+        return self._mk(index, self.TRUE, self.FALSE)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._var)
+
+    def top_var(self, node: int) -> int:
+        return self._var[node]
+
+    def cofactors(self, node: int, var: int) -> tuple[int, int]:
+        """(low, high) cofactors of ``node`` w.r.t. ``var``."""
+        if self._var[node] == var:
+            return self._low[node], self._high[node]
+        return node, node
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def ite(self, cond: int, then: int, other: int) -> int:
+        """If-then-else: the universal connective."""
+        if cond == self.TRUE:
+            return then
+        if cond == self.FALSE:
+            return other
+        if then == other:
+            return then
+        if then == self.TRUE and other == self.FALSE:
+            return cond
+        key = (cond, then, other)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        tops = [
+            self._var[n]
+            for n in (cond, then, other)
+            if n > 1
+        ]
+        var = min(tops)
+        c0, c1 = self.cofactors(cond, var)
+        t0, t1 = self.cofactors(then, var)
+        o0, o1 = self.cofactors(other, var)
+        result = self._mk(
+            var, self.ite(c0, t0, o0), self.ite(c1, t1, o1)
+        )
+        self._ite_cache[key] = result
+        return result
+
+    def apply_and(self, a: int, b: int) -> int:
+        return self.ite(a, b, self.FALSE)
+
+    def apply_or(self, a: int, b: int) -> int:
+        return self.ite(a, self.TRUE, b)
+
+    def apply_xor(self, a: int, b: int) -> int:
+        return self.ite(a, self.apply_not(b), b)
+
+    def apply_not(self, a: int) -> int:
+        return self.ite(a, self.FALSE, self.TRUE)
+
+    def apply_xnor(self, a: int, b: int) -> int:
+        return self.ite(a, b, self.apply_not(b))
+
+    def apply_implies(self, a: int, b: int) -> int:
+        return self.ite(a, b, self.TRUE)
+
+    def conjoin(self, terms: Iterable[int]) -> int:
+        result = self.TRUE
+        for term in terms:
+            result = self.apply_and(result, term)
+            if result == self.FALSE:
+                return result
+        return result
+
+    def disjoin(self, terms: Iterable[int]) -> int:
+        result = self.FALSE
+        for term in terms:
+            result = self.apply_or(result, term)
+            if result == self.TRUE:
+                return result
+        return result
+
+    # ------------------------------------------------------------------
+    # restriction / quantification / renaming
+    # ------------------------------------------------------------------
+    def restrict(self, node: int, var: int, value: bool) -> int:
+        """Cofactor w.r.t. ``var = value``."""
+        if node <= 1 or self._var[node] > var:
+            return node
+        if self._var[node] == var:
+            return self._high[node] if value else self._low[node]
+        return self._mk(
+            self._var[node],
+            self.restrict(self._low[node], var, value),
+            self.restrict(self._high[node], var, value),
+        )
+
+    def exists(self, node: int, variables: Iterable[int]) -> int:
+        """Existential quantification over a set of variables."""
+        var_set = frozenset(variables)
+        if not var_set:
+            return node
+        return self._exists_rec(node, var_set)
+
+    def _exists_rec(self, node: int, var_set: frozenset[int]) -> int:
+        if node <= 1:
+            return node
+        var = self._var[node]
+        if all(v < var for v in var_set):
+            return node  # ordering: no quantified variable below here
+        key = (node, var_set)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._exists_rec(self._low[node], var_set)
+        high = self._exists_rec(self._high[node], var_set)
+        if var in var_set:
+            result = self.apply_or(low, high)
+        else:
+            result = self._mk(var, low, high)
+        self._exists_cache[key] = result
+        return result
+
+    def and_exists(self, a: int, b: int, variables: Iterable[int]) -> int:
+        """Relational product ``∃ vars. a ∧ b`` (image computation core)."""
+        return self.exists(self.apply_and(a, b), variables)
+
+    def rename(self, node: int, mapping: dict[int, int]) -> int:
+        """Substitute variables according to ``mapping``.
+
+        Requires the mapping to be order-preserving between its domain
+        and range (true for the interleaved current/next convention
+        where ``next = current + 1``).
+        """
+        items = tuple(sorted(mapping.items()))
+        if not items:
+            return node
+        ordered = sorted(mapping)
+        if [mapping[v] for v in ordered] != sorted(mapping.values()):
+            raise ValueError("rename mapping must preserve variable order")
+        return self._rename_rec(node, items)
+
+    def _rename_rec(self, node: int, items: tuple[tuple[int, int], ...]) -> int:
+        if node <= 1:
+            return node
+        key = (node, items)
+        cached = self._rename_cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var[node]
+        new_var = dict(items).get(var, var)
+        result = self._mk(
+            new_var,
+            self._rename_rec(self._low[node], items),
+            self._rename_rec(self._high[node], items),
+        )
+        self._rename_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def evaluate(self, node: int, assignment: Callable[[int], bool]) -> bool:
+        """Evaluate under a variable assignment function."""
+        while node > 1:
+            node = (
+                self._high[node]
+                if assignment(self._var[node])
+                else self._low[node]
+            )
+        return node == self.TRUE
+
+    def count_models(self, node: int, num_vars: int) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables
+        (variables indexed 0..num_vars-1)."""
+        cache: dict[int, int] = {}
+
+        def count(n: int) -> tuple[int, int]:
+            """(models, top_var_or_num_vars) with models counted from the
+            node's top variable downwards."""
+            if n == self.FALSE:
+                return 0, num_vars
+            if n == self.TRUE:
+                return 1, num_vars
+            if n in cache:
+                return cache[n], self._var[n]
+            low_models, low_top = count(self._low[n])
+            high_models, high_top = count(self._high[n])
+            var = self._var[n]
+            total = low_models * (1 << (low_top - var - 1)) + high_models * (
+                1 << (high_top - var - 1)
+            )
+            cache[n] = total
+            return total, var
+
+        models, top = count(node)
+        return models * (1 << top)
+
+    def one_model(self, node: int) -> dict[int, bool] | None:
+        """Some satisfying assignment (partial: only decided variables)."""
+        if node == self.FALSE:
+            return None
+        model: dict[int, bool] = {}
+        while node > 1:
+            if self._low[node] != self.FALSE:
+                model[self._var[node]] = False
+                node = self._low[node]
+            else:
+                model[self._var[node]] = True
+                node = self._high[node]
+        return model
+
+    def iter_nodes(self, node: int) -> Iterator[int]:
+        """All reachable nodes of a BDD (for size measurements)."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen or current <= 1:
+                continue
+            seen.add(current)
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return iter(seen)
+
+    def size(self, node: int) -> int:
+        return sum(1 for _ in self.iter_nodes(node))

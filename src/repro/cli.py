@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro list
+    python -m repro run MealyVendingMachine
+    python -m repro run ModelingASecuritySystem --fsa InDoor --dot out.dot
+    python -m repro table1 --budget 30
+    python -m repro baseline MealyVendingMachine
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .automata import to_dot, to_text
+from .core import (
+    BaselineRow,
+    TableRow,
+    format_baseline_table,
+    format_table,
+    render_invariants,
+)
+from .evaluation import run_active, run_random_baseline
+from .stateflow.library import benchmark_names, get_benchmark
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        benchmark = get_benchmark(name)
+        fsas = ", ".join(spec.name for spec in benchmark.fsas)
+        print(f"{name}  (|X|={benchmark.num_observables}, k={benchmark.k})")
+        print(f"    FSAs: {fsas}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.benchmark)
+    spec = benchmark.fsa(args.fsa) if args.fsa else benchmark.fsas[0]
+    out = run_active(
+        benchmark,
+        spec,
+        initial_traces=args.traces,
+        trace_length=args.length,
+        seed=args.seed,
+        budget_seconds=args.budget,
+    )
+    state_names = [v.name for v in benchmark.system.state_vars]
+    print(TableRow.HEADER)
+    print(out.row.format())
+    print()
+    print(to_text(out.result.model, title=f"{benchmark.name}/{spec.name}",
+                  primed_names=state_names))
+    if out.result.invariants and args.invariants:
+        print("\nInvariants:")
+        print(render_invariants(out.result.invariants))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(
+                to_dot(out.result.model, title=spec.name, primed_names=state_names)
+            )
+        print(f"\nDOT written to {args.dot}")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.benchmark)
+    spec = benchmark.fsa(args.fsa) if args.fsa else benchmark.fsas[0]
+    out = run_random_baseline(
+        benchmark, spec, num_observations=args.observations, seed=args.seed
+    )
+    print(BaselineRow.HEADER)
+    print(out.row.format())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    active_rows: list[TableRow] = []
+    baseline_rows: list[BaselineRow] = []
+    names = args.benchmarks or benchmark_names()
+    for name in names:
+        benchmark = get_benchmark(name)
+        for spec in benchmark.fsas:
+            out = run_active(
+                benchmark,
+                spec,
+                initial_traces=args.traces,
+                trace_length=args.length,
+                seed=args.seed,
+                budget_seconds=args.budget,
+            )
+            active_rows.append(out.row)
+            print(out.row.format(), file=sys.stderr, flush=True)
+            if args.baseline:
+                base = run_random_baseline(
+                    benchmark, spec, num_observations=args.observations,
+                    seed=args.seed,
+                )
+                baseline_rows.append(base.row)
+    print("\nTable I (active algorithm):")
+    print(format_table(active_rows))
+    if baseline_rows:
+        print("\nTable I (random-sampling baseline):")
+        print(format_baseline_table(baseline_rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Active learning of abstract system models from traces using "
+            "model checking (DATE 2022 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="run the active algorithm on a benchmark")
+    run.add_argument("benchmark")
+    run.add_argument("--fsa", help="FSA row (default: first)")
+    run.add_argument("--traces", type=int, default=50)
+    run.add_argument("--length", type=int, default=50)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--budget", type=float, default=120.0)
+    run.add_argument("--dot", help="write learned model as Graphviz DOT")
+    run.add_argument("--invariants", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
+    base = sub.add_parser("baseline", help="run the random-sampling baseline")
+    base.add_argument("benchmark")
+    base.add_argument("--fsa")
+    base.add_argument("--observations", type=int, default=20_000)
+    base.add_argument("--seed", type=int, default=0)
+    base.set_defaults(fn=_cmd_baseline)
+
+    table = sub.add_parser("table1", help="regenerate Table I")
+    table.add_argument("benchmarks", nargs="*", help="subset (default: all)")
+    table.add_argument("--traces", type=int, default=50)
+    table.add_argument("--length", type=int, default=50)
+    table.add_argument("--seed", type=int, default=0)
+    table.add_argument("--budget", type=float, default=60.0)
+    table.add_argument("--baseline", action="store_true")
+    table.add_argument("--observations", type=int, default=20_000)
+    table.set_defaults(fn=_cmd_table1)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

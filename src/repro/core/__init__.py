@@ -1,0 +1,68 @@
+"""The paper's contribution: active learning of abstract system models.
+
+Condition extraction (§III-A), the completeness oracle with spuriousness
+handling (§III-B/C), counterexample-to-trace refinement, the main loop,
+metrics, and invariant extraction (§VI).
+"""
+
+from .coverage import (
+    CoverageHole,
+    CoverageReport,
+    HoleClosingResult,
+    close_holes,
+    evaluate_suite,
+)
+from .crosscheck import CrossCheckReport, InvariantViolation, cross_check
+from .conditions import (
+    Condition,
+    ConditionKind,
+    extract_conditions,
+    outgoing_disjunction,
+)
+from .invariants import (
+    Invariant,
+    extract_invariants,
+    render_invariants,
+    validate_invariants,
+)
+from .loop import ActiveLearner, ActiveLearningResult, IterationRecord
+from .metrics import (
+    BaselineRow,
+    TableRow,
+    format_baseline_table,
+    format_table,
+)
+from .oracle import CompletenessOracle, ConditionOutcome, OracleReport
+from .refine import augment_traces, counterexample_traces, splice_counterexample
+
+__all__ = [
+    "ActiveLearner",
+    "ActiveLearningResult",
+    "BaselineRow",
+    "CompletenessOracle",
+    "CoverageHole",
+    "CoverageReport",
+    "CrossCheckReport",
+    "HoleClosingResult",
+    "InvariantViolation",
+    "Condition",
+    "ConditionKind",
+    "ConditionOutcome",
+    "Invariant",
+    "IterationRecord",
+    "OracleReport",
+    "TableRow",
+    "augment_traces",
+    "close_holes",
+    "cross_check",
+    "counterexample_traces",
+    "extract_conditions",
+    "evaluate_suite",
+    "extract_invariants",
+    "format_baseline_table",
+    "format_table",
+    "outgoing_disjunction",
+    "render_invariants",
+    "splice_counterexample",
+    "validate_invariants",
+]

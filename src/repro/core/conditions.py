@@ -1,0 +1,106 @@
+"""Extraction of completeness conditions from a candidate abstraction.
+
+Implements §III-A of the paper.  Given a candidate NFA ``M`` the
+completeness hypothesis -- *every system transition has a counterpart in
+M* -- is encoded as one condition per proof obligation:
+
+* **Condition (1)**, for the initial automaton states: from any initial
+  system state, the first observation satisfies some outgoing predicate
+  of an initial state.
+
+* **Condition (2)**, for every state ``q_j`` and every distinct predicate
+  ``p_i`` on its incoming transitions: if an observation satisfies
+  ``p_i`` and the system takes a transition, the next observation
+  satisfies some outgoing predicate of ``q_j``.
+
+The fraction of conditions that hold is the paper's degree of
+completeness ``α``; when all hold, Theorem 1 gives
+``Traces_X(S) ⊆ L(M)`` and the conditions are implementation invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..automata.nfa import SymbolicNFA
+from ..expr.ast import Expr, lor
+from ..expr.simplify import simplify
+
+
+class ConditionKind(Enum):
+    INIT = "init"   # condition (1)
+    STEP = "step"   # condition (2)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One extracted proof obligation.
+
+    ``assumption`` is ``p_i`` for condition (2); for condition (1) it is
+    ``None`` and the checker substitutes the system's ``Init``.
+    ``conclusion`` is the disjunction of outgoing predicates.
+    """
+
+    kind: ConditionKind
+    state: int
+    state_name: str
+    assumption: Expr | None
+    conclusion: Expr
+
+    def describe(self) -> str:
+        from ..expr.printer import to_str
+
+        if self.kind is ConditionKind.INIT:
+            return (
+                f"(1) Init ∧ R ⟹ outgoing({self.state_name}): "
+                f"{to_str(self.conclusion, style='paper')}"
+            )
+        return (
+            f"(2) {to_str(self.assumption, style='paper')} ∧ R ⟹ "
+            f"outgoing({self.state_name}): "
+            f"{to_str(self.conclusion, style='paper')}"
+        )
+
+
+def outgoing_disjunction(nfa: SymbolicNFA, state: int) -> Expr:
+    """``⋁ p_o`` over the outgoing predicates of ``state``.
+
+    A state without outgoing transitions yields ``false``: the condition
+    then demands that no system transition leaves a matching observation,
+    which a counterexample will refute, growing the model -- exactly the
+    refinement behaviour the paper describes for dead-end states.
+    """
+    return simplify(lor(*(t.guard for t in nfa.outgoing(state))))
+
+
+def extract_conditions(nfa: SymbolicNFA) -> list[Condition]:
+    """All completeness conditions of the candidate abstraction."""
+    conditions: list[Condition] = []
+    for state in sorted(nfa.initial_states):
+        conditions.append(
+            Condition(
+                kind=ConditionKind.INIT,
+                state=state,
+                state_name=nfa.state_name(state),
+                assumption=None,
+                conclusion=outgoing_disjunction(nfa, state),
+            )
+        )
+    for state in nfa.states:
+        seen: list[Expr] = []
+        for transition in nfa.incoming(state):
+            predicate = transition.guard
+            if predicate in seen:
+                continue  # P(j,in) is a *set* of predicates
+            seen.append(predicate)
+            conditions.append(
+                Condition(
+                    kind=ConditionKind.STEP,
+                    state=state,
+                    state_name=nfa.state_name(state),
+                    assumption=predicate,
+                    conclusion=outgoing_disjunction(nfa, state),
+                )
+            )
+    return conditions

@@ -1,0 +1,78 @@
+"""Invariants extracted from the final abstraction (paper §III, §VI).
+
+When the algorithm terminates with ``α = 1``, every (possibly
+strengthened) condition is an invariant of the implementation: useful as
+additional specifications for verifying other implementations of the
+same design, and as human-readable insight into the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..expr.ast import Expr
+from ..expr.printer import to_str
+from ..expr.subst import to_primed
+from ..mc.condition_check import check_condition
+from ..system.transition_system import SymbolicSystem
+from .conditions import ConditionKind
+from .oracle import ConditionOutcome
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """``assumption(v_t) ∧ R(v_t, v_t+1) ⟹ conclusion(v_t+1)``."""
+
+    assumption: Expr
+    conclusion: Expr
+    origin: str  # which condition produced it
+
+    def render(self, style: str = "paper") -> str:
+        arrow = " ⟹ " if style == "paper" else " -> "
+        return (
+            f"{to_str(self.assumption, style)} ∧ R{arrow}"
+            f"{to_str(to_primed(self.conclusion), style)}"
+            if style == "paper"
+            else f"{to_str(self.assumption, style)} && R{arrow}"
+            f"{to_str(to_primed(self.conclusion), style)}"
+        )
+
+
+def extract_invariants(
+    system: SymbolicSystem, outcomes: list[ConditionOutcome]
+) -> list[Invariant]:
+    """Invariants from the conditions that hold (final assumptions)."""
+    invariants = []
+    for outcome in outcomes:
+        if not outcome.holds:
+            continue
+        assumption = (
+            system.init
+            if outcome.condition.kind is ConditionKind.INIT
+            else outcome.final_assumption
+        )
+        invariants.append(
+            Invariant(
+                assumption=assumption,
+                conclusion=outcome.condition.conclusion,
+                origin=outcome.condition.describe(),
+            )
+        )
+    return invariants
+
+
+def validate_invariants(
+    system: SymbolicSystem, invariants: list[Invariant]
+) -> bool:
+    """Re-check every invariant against the implementation."""
+    return all(
+        check_condition(system, inv.assumption, inv.conclusion).holds
+        for inv in invariants
+    )
+
+
+def render_invariants(invariants: list[Invariant]) -> str:
+    return "\n".join(
+        f"[{index}] {invariant.render()}"
+        for index, invariant in enumerate(invariants, start=1)
+    )

@@ -1,0 +1,98 @@
+"""Evaluation metrics and Table-I row formatting.
+
+Collects the quantities the paper reports per FSA:
+
+* ``|X|`` -- number of observable variables,
+* ``k``  -- counterexample-validity bound,
+* ``i``  -- model-learning iterations,
+* ``d``  -- fraction of ground-truth transitions matched,
+* ``N``  -- states in the final model,
+* ``α``  -- degree of completeness,
+* ``T``  -- runtime in seconds,
+* ``%Tm`` -- share of runtime spent in model learning,
+
+plus the random-sampling baseline's ``N``, ``α`` and ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TableRow:
+    """One row of the reproduction's Table I."""
+
+    benchmark: str
+    fsa: str
+    num_observables: int
+    k: int
+    iterations: int
+    d: float
+    num_states: int
+    alpha: float
+    time_seconds: float
+    percent_learning: float
+    timed_out: bool = False
+
+    HEADER = (
+        f"{'Benchmark':<44} {'FSA':<22} {'|X|':>4} {'k':>4} "
+        f"{'i':>3} {'d':>5} {'N':>3} {'α':>5} {'T(s)':>8} {'%Tm':>6}"
+    )
+
+    def format(self) -> str:
+        time_text = "timeout" if self.timed_out else f"{self.time_seconds:.1f}"
+        return (
+            f"{self.benchmark:<44} {self.fsa:<22} {self.num_observables:>4} "
+            f"{self.k:>4} {self.iterations:>3} {_metric(self.d):>5} "
+            f"{self.num_states:>3} {_metric(self.alpha):>5} {time_text:>8} "
+            f"{self.percent_learning:>5.1f}"
+        )
+
+
+@dataclass
+class BaselineRow:
+    """Random-sampling columns of Table I."""
+
+    benchmark: str
+    fsa: str
+    num_states: int
+    alpha: float
+    time_seconds: float
+    failed: bool = False  # learner crash (the paper's T2M segfaults)
+
+    HEADER = (
+        f"{'Benchmark':<44} {'FSA':<22} {'N':>3} {'α':>5} {'T(s)':>8}"
+    )
+
+    def format(self) -> str:
+        if self.failed:
+            return (
+                f"{self.benchmark:<44} {self.fsa:<22} "
+                f"{'--':>3} {'--':>5} {'fail':>8}"
+            )
+        return (
+            f"{self.benchmark:<44} {self.fsa:<22} {self.num_states:>3} "
+            f"{_metric(self.alpha):>5} {self.time_seconds:>8.1f}"
+        )
+
+
+def _metric(value: float) -> str:
+    """Render d/α the way the paper does (1 or one decimal)."""
+    if value == 1.0:
+        return "1"
+    if value == 0.0:
+        return "0"
+    return f"{value:.1f}"
+
+
+def format_table(rows: list[TableRow]) -> str:
+    lines = [TableRow.HEADER, "-" * len(TableRow.HEADER)]
+    lines.extend(row.format() for row in rows)
+    return "\n".join(lines)
+
+
+def format_baseline_table(rows: list[BaselineRow]) -> str:
+    lines = [BaselineRow.HEADER, "-" * len(BaselineRow.HEADER)]
+    lines.extend(row.format() for row in rows)
+    return "\n".join(lines)

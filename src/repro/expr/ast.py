@@ -1,0 +1,601 @@
+"""Expression AST.
+
+Expressions are immutable trees of frozen dataclasses.  Structural equality
+and hashing come from the dataclass machinery, which the rest of the code
+relies on (memoisation tables, deduplication of predicates, ...).  For this
+reason ``__eq__`` is *not* overloaded to build equality expressions; use
+:func:`eq` / :func:`ne` or the ``.eq()`` / ``.ne()`` methods instead.
+Arithmetic and ordering operators *are* overloaded, so chart guards read
+naturally, e.g. ``(temp > 30) & coil.eq(ON)``.
+
+Smart constructors (:func:`land`, :func:`lor`, :func:`lnot`, ...) perform
+light normalisation -- flattening nested conjunctions, folding constants --
+so that predicates extracted from learned automata stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from .types import BOOL, BoolSort, EnumSort, IntSort, Sort
+
+ExprLike = Union["Expr", int, bool]
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+    sort: Sort  # every subclass carries a sort
+
+    # -- boolean connectives -------------------------------------------------
+    def __and__(self, other: ExprLike) -> "Expr":
+        return land(self, coerce_bool(other))
+
+    def __rand__(self, other: ExprLike) -> "Expr":
+        return land(coerce_bool(other), self)
+
+    def __or__(self, other: ExprLike) -> "Expr":
+        return lor(self, coerce_bool(other))
+
+    def __ror__(self, other: ExprLike) -> "Expr":
+        return lor(coerce_bool(other), self)
+
+    def __invert__(self) -> "Expr":
+        return lnot(self)
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return add(self, coerce(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return add(coerce(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return sub(self, coerce(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return sub(coerce(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return mul(self, coerce(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return mul(coerce(other), self)
+
+    def __neg__(self) -> "Expr":
+        return neg(self)
+
+    # -- comparisons (NOT __eq__/__ne__: those stay structural) ---------------
+    def __lt__(self, other: ExprLike) -> "Expr":
+        return lt(self, coerce(other))
+
+    def __le__(self, other: ExprLike) -> "Expr":
+        return le(self, coerce(other))
+
+    def __gt__(self, other: ExprLike) -> "Expr":
+        return gt(self, coerce(other))
+
+    def __ge__(self, other: ExprLike) -> "Expr":
+        return ge(self, coerce(other))
+
+    def eq(self, other: ExprLike) -> "Expr":
+        """Equality *expression* (structural ``==`` is left untouched)."""
+        return eq(self, coerce_like(other, self))
+
+    def ne(self, other: ExprLike) -> "Expr":
+        return ne(self, coerce_like(other, self))
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        from .printer import to_str
+
+        return to_str(self)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named variable.  ``primed`` marks the next-state copy ``x'``."""
+
+    name: str
+    sort: Sort
+    primed: bool = False
+
+    @property
+    def qualified_name(self) -> str:
+        """Name used in valuations/environments (``x`` or ``x'``)."""
+        return self.name + "'" if self.primed else self.name
+
+    def prime(self) -> "Var":
+        if self.primed:
+            raise ValueError(f"variable {self.name!r} is already primed")
+        return Var(self.name, self.sort, primed=True)
+
+    def unprime(self) -> "Var":
+        if not self.primed:
+            raise ValueError(f"variable {self.name!r} is not primed")
+        return Var(self.name, self.sort, primed=False)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant.  Booleans use ``value in (0, 1)`` with :data:`BOOL` sort;
+    enum constants store the member index."""
+
+    value: int
+    sort: Sort
+
+    def __post_init__(self) -> None:
+        if isinstance(self.sort, BoolSort) and self.value not in (0, 1):
+            raise ValueError(f"boolean constant must be 0/1, got {self.value}")
+        if isinstance(self.sort, EnumSort) and not (
+            0 <= self.value < self.sort.cardinality
+        ):
+            raise ValueError(
+                f"enum constant index {self.value} out of range for {self.sort}"
+            )
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    arg: Expr
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    args: tuple[Expr, ...]
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    args: tuple[Expr, ...]
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True)
+class Implies(Expr):
+    lhs: Expr
+    rhs: Expr
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True)
+class Iff(Expr):
+    lhs: Expr
+    rhs: Expr
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True)
+class Eq(Expr):
+    lhs: Expr
+    rhs: Expr
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True)
+class Lt(Expr):
+    lhs: Expr
+    rhs: Expr
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True)
+class Le(Expr):
+    lhs: Expr
+    rhs: Expr
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    args: tuple[Expr, ...]
+    sort: Sort  # computed by smart constructor via interval analysis
+
+
+@dataclass(frozen=True)
+class Sub(Expr):
+    lhs: Expr
+    rhs: Expr
+    sort: Sort
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    arg: Expr
+    sort: Sort
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    lhs: Expr
+    rhs: Expr
+    sort: Sort
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """If-then-else; branches must share a compatible sort kind."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+    sort: Sort
+
+
+TRUE = Const(1, BOOL)
+FALSE = Const(0, BOOL)
+
+
+# ---------------------------------------------------------------------------
+# coercion helpers
+# ---------------------------------------------------------------------------
+
+
+def coerce(value: ExprLike) -> Expr:
+    """Coerce a Python value to an expression (ints get a singleton range)."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    if isinstance(value, int):
+        return Const(value, IntSort(value, value))
+    raise TypeError(f"cannot coerce {value!r} to an expression")
+
+
+def coerce_bool(value: ExprLike) -> Expr:
+    expr = coerce(value)
+    if not expr.sort.is_bool():
+        raise TypeError(f"expected boolean expression, got sort {expr.sort}")
+    return expr
+
+
+def coerce_like(value: ExprLike, template: Expr) -> Expr:
+    """Coerce ``value`` using ``template``'s sort for bare ints/strs.
+
+    This is what lets ``mode.eq("On")`` work for enum variables and
+    ``flag.eq(True)`` for Boolean ones.
+    """
+    if isinstance(value, Expr):
+        return value
+    sort = template.sort
+    if isinstance(sort, EnumSort):
+        if isinstance(value, str):
+            return Const(sort.index_of(value), sort)
+        if isinstance(value, int):
+            return Const(value, sort)
+    if isinstance(sort, BoolSort):
+        if isinstance(value, (bool, int)):
+            return TRUE if value else FALSE
+    return coerce(value)
+
+
+def enum_const(sort: EnumSort, member: str) -> Const:
+    """Constant for an enum member by name."""
+    return Const(sort.index_of(member), sort)
+
+
+def bool_const(value: bool) -> Const:
+    return TRUE if value else FALSE
+
+
+# ---------------------------------------------------------------------------
+# interval analysis (exact ranges; drives bit widths in the bit-blaster)
+# ---------------------------------------------------------------------------
+
+
+def interval(expr: Expr) -> tuple[int, int]:
+    """Exact value interval of an int/enum-sorted expression."""
+    sort = expr.sort
+    if isinstance(sort, IntSort):
+        return (sort.lo, sort.hi)
+    if isinstance(sort, EnumSort):
+        return (0, sort.cardinality - 1)
+    raise TypeError(f"no interval for sort {sort}")
+
+
+def _int_sort_for(lo: int, hi: int) -> IntSort:
+    return IntSort(lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# smart constructors
+# ---------------------------------------------------------------------------
+
+
+def land(*args: ExprLike) -> Expr:
+    """Conjunction; flattens, drops ``true``, short-circuits on ``false``."""
+    flat: list[Expr] = []
+    for raw in args:
+        arg = coerce_bool(raw)
+        if isinstance(arg, Const):
+            if arg.value == 0:
+                return FALSE
+            continue
+        if isinstance(arg, And):
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    deduped: list[Expr] = []
+    for arg in flat:
+        if arg not in deduped:
+            deduped.append(arg)
+    if not deduped:
+        return TRUE
+    if len(deduped) == 1:
+        return deduped[0]
+    return And(tuple(deduped))
+
+
+def lor(*args: ExprLike) -> Expr:
+    """Disjunction; flattens, drops ``false``, short-circuits on ``true``."""
+    flat: list[Expr] = []
+    for raw in args:
+        arg = coerce_bool(raw)
+        if isinstance(arg, Const):
+            if arg.value == 1:
+                return TRUE
+            continue
+        if isinstance(arg, Or):
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    deduped: list[Expr] = []
+    for arg in flat:
+        if arg not in deduped:
+            deduped.append(arg)
+    if not deduped:
+        return FALSE
+    if len(deduped) == 1:
+        return deduped[0]
+    return Or(tuple(deduped))
+
+
+def lnot(arg: ExprLike) -> Expr:
+    expr = coerce_bool(arg)
+    if isinstance(expr, Const):
+        return FALSE if expr.value else TRUE
+    if isinstance(expr, Not):
+        return expr.arg
+    return Not(expr)
+
+
+def implies(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e, rhs_e = coerce_bool(lhs), coerce_bool(rhs)
+    if lhs_e == TRUE:
+        return rhs_e
+    if lhs_e == FALSE or rhs_e == TRUE:
+        return TRUE
+    if rhs_e == FALSE:
+        return lnot(lhs_e)
+    return Implies(lhs_e, rhs_e)
+
+
+def iff(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e, rhs_e = coerce_bool(lhs), coerce_bool(rhs)
+    if lhs_e == rhs_e:
+        return TRUE
+    if lhs_e == TRUE:
+        return rhs_e
+    if rhs_e == TRUE:
+        return lhs_e
+    if lhs_e == FALSE:
+        return lnot(rhs_e)
+    if rhs_e == FALSE:
+        return lnot(lhs_e)
+    return Iff(lhs_e, rhs_e)
+
+
+def _numeric(sort: Sort) -> bool:
+    # Enum values are member indices, so enums are int-compatible.
+    return sort.is_int() or sort.is_enum()
+
+
+def _check_same_kind(lhs: Expr, rhs: Expr, what: str) -> None:
+    ok = (
+        (lhs.sort.is_bool() and rhs.sort.is_bool())
+        or (_numeric(lhs.sort) and _numeric(rhs.sort))
+        or (lhs.sort == rhs.sort)
+    )
+    if not ok:
+        raise TypeError(f"{what}: incompatible sorts {lhs.sort} and {rhs.sort}")
+
+
+def eq(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e = coerce(lhs)
+    rhs_e = coerce_like(rhs, lhs_e)
+    _check_same_kind(lhs_e, rhs_e, "eq")
+    if isinstance(lhs_e, Const) and isinstance(rhs_e, Const):
+        return TRUE if lhs_e.value == rhs_e.value else FALSE
+    if lhs_e == rhs_e:
+        return TRUE
+    return Eq(lhs_e, rhs_e)
+
+
+def ne(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    return lnot(eq(lhs, rhs))
+
+
+def _int_operands(lhs: ExprLike, rhs: ExprLike, what: str) -> tuple[Expr, Expr]:
+    lhs_e, rhs_e = coerce(lhs), coerce(rhs)
+    for side in (lhs_e, rhs_e):
+        if not _numeric(side.sort):
+            raise TypeError(f"{what}: expected int operands, got {side.sort}")
+    return lhs_e, rhs_e
+
+
+def lt(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e, rhs_e = _int_operands(lhs, rhs, "lt")
+    if isinstance(lhs_e, Const) and isinstance(rhs_e, Const):
+        return TRUE if lhs_e.value < rhs_e.value else FALSE
+    lo1, hi1 = interval(lhs_e)
+    lo2, hi2 = interval(rhs_e)
+    if hi1 < lo2:
+        return TRUE
+    if lo1 >= hi2:
+        return FALSE
+    return Lt(lhs_e, rhs_e)
+
+
+def le(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e, rhs_e = _int_operands(lhs, rhs, "le")
+    if isinstance(lhs_e, Const) and isinstance(rhs_e, Const):
+        return TRUE if lhs_e.value <= rhs_e.value else FALSE
+    lo1, hi1 = interval(lhs_e)
+    lo2, hi2 = interval(rhs_e)
+    if hi1 <= lo2:
+        return TRUE
+    if lo1 > hi2:
+        return FALSE
+    return Le(lhs_e, rhs_e)
+
+
+def gt(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    return lt(coerce(rhs), coerce(lhs))
+
+
+def ge(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    return le(coerce(rhs), coerce(lhs))
+
+
+def add(*args: ExprLike) -> Expr:
+    terms: list[Expr] = []
+    const_sum = 0
+    for raw in args:
+        term = coerce(raw)
+        if not _numeric(term.sort):
+            raise TypeError(f"add: expected int operand, got {term.sort}")
+        if isinstance(term, Const):
+            const_sum += term.value
+        elif isinstance(term, Add):
+            terms.extend(term.args)
+        else:
+            terms.append(term)
+    if const_sum != 0 or not terms:
+        terms.append(Const(const_sum, IntSort(const_sum, const_sum)))
+    if len(terms) == 1:
+        return terms[0]
+    lo = sum(interval(t)[0] for t in terms)
+    hi = sum(interval(t)[1] for t in terms)
+    return Add(tuple(terms), _int_sort_for(lo, hi))
+
+
+def sub(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e, rhs_e = _int_operands(lhs, rhs, "sub")
+    if isinstance(lhs_e, Const) and isinstance(rhs_e, Const):
+        value = lhs_e.value - rhs_e.value
+        return Const(value, IntSort(value, value))
+    if isinstance(rhs_e, Const) and rhs_e.value == 0:
+        return lhs_e
+    lo1, hi1 = interval(lhs_e)
+    lo2, hi2 = interval(rhs_e)
+    return Sub(lhs_e, rhs_e, _int_sort_for(lo1 - hi2, hi1 - lo2))
+
+
+def neg(arg: ExprLike) -> Expr:
+    expr = coerce(arg)
+    if not _numeric(expr.sort):
+        raise TypeError(f"neg: expected int operand, got {expr.sort}")
+    if isinstance(expr, Const):
+        return Const(-expr.value, IntSort(-expr.value, -expr.value))
+    lo, hi = interval(expr)
+    return Neg(expr, _int_sort_for(-hi, -lo))
+
+
+def mul(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e, rhs_e = _int_operands(lhs, rhs, "mul")
+    if isinstance(lhs_e, Const) and isinstance(rhs_e, Const):
+        value = lhs_e.value * rhs_e.value
+        return Const(value, IntSort(value, value))
+    for const, other in ((lhs_e, rhs_e), (rhs_e, lhs_e)):
+        if isinstance(const, Const):
+            if const.value == 0:
+                return Const(0, IntSort(0, 0))
+            if const.value == 1:
+                return other
+    lo1, hi1 = interval(lhs_e)
+    lo2, hi2 = interval(rhs_e)
+    corners = [lo1 * lo2, lo1 * hi2, hi1 * lo2, hi1 * hi2]
+    return Mul(lhs_e, rhs_e, _int_sort_for(min(corners), max(corners)))
+
+
+def ite(cond: ExprLike, then: ExprLike, other: ExprLike) -> Expr:
+    cond_e = coerce_bool(cond)
+    then_e, other_e = coerce(then), coerce(other)
+    if isinstance(then_e, Const) and not isinstance(other_e, Expr):
+        other_e = coerce_like(other, then_e)
+    _check_same_kind(then_e, other_e, "ite")
+    if isinstance(cond_e, Const):
+        return then_e if cond_e.value else other_e
+    if then_e == other_e:
+        return then_e
+    if then_e.sort.is_bool():
+        sort: Sort = BOOL
+    else:
+        lo1, hi1 = interval(then_e)
+        lo2, hi2 = interval(other_e)
+        lo, hi = min(lo1, lo2), max(hi1, hi2)
+        # Prefer an enum branch sort when the union stays in its range,
+        # so mode updates like ite(c, 1, mode) keep their enum typing.
+        sort = _int_sort_for(lo, hi)
+        for branch in (then_e, other_e):
+            if isinstance(branch.sort, EnumSort) and 0 <= lo and hi < branch.sort.cardinality:
+                sort = branch.sort
+                break
+    return Ite(cond_e, then_e, other_e, sort)
+
+
+def minimum(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e, rhs_e = _int_operands(lhs, rhs, "minimum")
+    return ite(le(lhs_e, rhs_e), lhs_e, rhs_e)
+
+
+def maximum(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    lhs_e, rhs_e = _int_operands(lhs, rhs, "maximum")
+    return ite(ge(lhs_e, rhs_e), lhs_e, rhs_e)
+
+
+# ---------------------------------------------------------------------------
+# traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def children(expr: Expr) -> tuple[Expr, ...]:
+    """Direct children of a node (empty for leaves)."""
+    if isinstance(expr, (Var, Const)):
+        return ()
+    if isinstance(expr, (Not, Neg)):
+        return (expr.arg,)
+    if isinstance(expr, (And, Or, Add)):
+        return expr.args
+    if isinstance(expr, (Implies, Iff, Eq, Lt, Le, Sub, Mul)):
+        return (expr.lhs, expr.rhs)
+    if isinstance(expr, Ite):
+        return (expr.cond, expr.then, expr.other)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def walk(expr: Expr) -> Iterable[Expr]:
+    """Pre-order traversal of all nodes."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(children(node)))
+
+
+def free_vars(expr: Expr) -> set[Var]:
+    """All variables occurring in ``expr``."""
+    return {node for node in walk(expr) if isinstance(node, Var)}
+
+
+def int_constants(expr: Expr) -> set[int]:
+    """All integer constants occurring in ``expr`` (for predicate pools)."""
+    return {
+        node.value
+        for node in walk(expr)
+        if isinstance(node, Const) and node.sort.is_int()
+    }

@@ -1,0 +1,164 @@
+"""Pretty-printing of expressions.
+
+Two styles are provided:
+
+* ``"plain"`` -- ASCII, suitable for logs and DOT labels.
+* ``"paper"`` -- the notation used in the paper's figures: unicode
+  logical connectives and primed variables, e.g.
+  ``(inp.temp > T_thresh) ∧ (s' = On)`` as in Fig. 2.
+
+Enum constants print as their member names whenever the sort is known
+from context (comparisons against enum variables).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Add,
+    And,
+    Const,
+    Eq,
+    Expr,
+    Iff,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Var,
+)
+from .types import BoolSort, EnumSort
+
+_PLAIN = {
+    "and": " && ",
+    "or": " || ",
+    "not": "!",
+    "implies": " -> ",
+    "iff": " <-> ",
+}
+_PAPER = {
+    "and": " ∧ ",
+    "or": " ∨ ",
+    "not": "¬",
+    "implies": " ⟹ ",
+    "iff": " ⟺ ",
+}
+
+# Precedence levels: higher binds tighter.
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_NOT = 3
+_PREC_CMP = 4
+_PREC_ADD = 5
+_PREC_MUL = 6
+_PREC_ATOM = 7
+
+
+def to_str(expr: Expr, style: str = "plain") -> str:
+    """Render ``expr``; ``style`` is ``"plain"`` or ``"paper"``."""
+    if style == "plain":
+        symbols = _PLAIN
+    elif style == "paper":
+        symbols = _PAPER
+    else:
+        raise ValueError(f"unknown printing style {style!r}")
+    text, _prec = _render(expr, symbols)
+    return text
+
+
+def _const_str(value: int, sort) -> str:
+    if isinstance(sort, BoolSort):
+        return "true" if value else "false"
+    if isinstance(sort, EnumSort):
+        return sort.member_name(value)
+    return str(value)
+
+
+def _paren(inner: str, inner_prec: int, outer_prec: int) -> str:
+    if inner_prec < outer_prec:
+        return f"({inner})"
+    return inner
+
+
+def _render_infix(
+    parts: list[tuple[str, int]], sep: str, prec: int
+) -> tuple[str, int]:
+    rendered = [_paren(text, p, prec + 1 if i else prec) for i, (text, p) in enumerate(parts)]
+    return sep.join(rendered), prec
+
+
+def _render(expr: Expr, sym: dict) -> tuple[str, int]:
+    if isinstance(expr, Var):
+        return expr.qualified_name, _PREC_ATOM
+    if isinstance(expr, Const):
+        return _const_str(expr.value, expr.sort), _PREC_ATOM
+    if isinstance(expr, Not):
+        inner, prec = _render(expr.arg, sym)
+        if isinstance(expr.arg, (Eq, Lt, Le)):
+            # The paper writes ``¬(inp.temp > T_thresh)``.
+            return f"{sym['not']}({inner})", _PREC_NOT
+        return f"{sym['not']}{_paren(inner, prec, _PREC_NOT)}", _PREC_NOT
+    if isinstance(expr, And):
+        parts = [_render(a, sym) for a in expr.args]
+        return _render_infix(parts, sym["and"], _PREC_AND)
+    if isinstance(expr, Or):
+        parts = [_render(a, sym) for a in expr.args]
+        return _render_infix(parts, sym["or"], _PREC_OR)
+    if isinstance(expr, Implies):
+        lhs, lp = _render(expr.lhs, sym)
+        rhs, rp = _render(expr.rhs, sym)
+        text = f"{_paren(lhs, lp, _PREC_OR + 1)}{sym['implies']}{_paren(rhs, rp, _PREC_OR + 1)}"
+        return text, _PREC_OR
+    if isinstance(expr, Iff):
+        lhs, lp = _render(expr.lhs, sym)
+        rhs, rp = _render(expr.rhs, sym)
+        text = f"{_paren(lhs, lp, _PREC_OR + 1)}{sym['iff']}{_paren(rhs, rp, _PREC_OR + 1)}"
+        return text, _PREC_OR
+    if isinstance(expr, (Eq, Lt, Le)):
+        op = {"Eq": "=", "Lt": "<", "Le": "<="}[type(expr).__name__]
+        lhs, rhs = expr.lhs, expr.rhs
+        # gt/ge desugar to Lt/Le with swapped operands; restore the
+        # paper's reading order (``temp > 30``) when a constant leads.
+        if (
+            isinstance(expr, (Lt, Le))
+            and isinstance(lhs, Const)
+            and not isinstance(rhs, Const)
+        ):
+            op = ">" if isinstance(expr, Lt) else ">="
+            lhs, rhs = rhs, lhs
+        # Print enum comparisons with member names.
+        if isinstance(expr, Eq) and isinstance(rhs, Const) and isinstance(lhs.sort, EnumSort):
+            rhs_text = lhs.sort.member_name(rhs.value)
+        else:
+            rhs_text = _paren(*_render(rhs, sym), _PREC_ADD)
+        lhs_text = _paren(*_render(lhs, sym), _PREC_ADD)
+        return f"{lhs_text} {op} {rhs_text}", _PREC_CMP
+    if isinstance(expr, Add):
+        parts = [_render(a, sym) for a in expr.args]
+        return _render_infix(parts, " + ", _PREC_ADD)
+    if isinstance(expr, Sub):
+        lhs, lp = _render(expr.lhs, sym)
+        rhs, rp = _render(expr.rhs, sym)
+        return f"{_paren(lhs, lp, _PREC_ADD)} - {_paren(rhs, rp, _PREC_ADD + 1)}", _PREC_ADD
+    if isinstance(expr, Neg):
+        inner, prec = _render(expr.arg, sym)
+        return f"-{_paren(inner, prec, _PREC_MUL)}", _PREC_MUL
+    if isinstance(expr, Mul):
+        lhs, lp = _render(expr.lhs, sym)
+        rhs, rp = _render(expr.rhs, sym)
+        return f"{_paren(lhs, lp, _PREC_MUL)} * {_paren(rhs, rp, _PREC_MUL)}", _PREC_MUL
+    if isinstance(expr, Ite):
+        cond, _ = _render(expr.cond, sym)
+        then, _ = _render(expr.then, sym)
+        other, _ = _render(expr.other, sym)
+        return f"ite({cond}, {then}, {other})", _PREC_ATOM
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def guard_str(expr: Expr) -> str:
+    """Paper-style rendering used for automaton edge labels (Fig. 2)."""
+    return to_str(expr, style="paper")

@@ -1,0 +1,227 @@
+"""S-expression serialisation of expressions.
+
+Mined invariants and learned guards are artefacts users want to store,
+diff and reload (e.g. to re-check a new implementation against last
+release's invariants without re-learning).  The infix printer is for
+humans; this module provides a lossless machine format:
+
+    (and (> (var temp (int 0 60)) 30) (= (var s (enum Mode Off On)) 1))
+
+``dumps``/``loads`` round-trip every expression the IR can build
+(property-tested); sorts are carried inline on variables so a reloaded
+expression needs no external declarations.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Add,
+    And,
+    Const,
+    Eq,
+    Expr,
+    Iff,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Var,
+    add,
+    eq,
+    iff,
+    implies,
+    ite,
+    land,
+    le,
+    lnot,
+    lor,
+    lt,
+    mul,
+    neg,
+    sub,
+)
+from .types import BOOL, BoolSort, EnumSort, IntSort, Sort
+
+
+class SexprError(ValueError):
+    """Raised on malformed s-expression input."""
+
+
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+
+def _sort_sexpr(sort: Sort) -> str:
+    if isinstance(sort, BoolSort):
+        return "bool"
+    if isinstance(sort, IntSort):
+        return f"(int {sort.lo} {sort.hi})"
+    if isinstance(sort, EnumSort):
+        members = " ".join(sort.members)
+        return f"(enum {sort.name} {members})"
+    raise TypeError(f"unsupported sort {sort!r}")
+
+
+def dumps(expr: Expr) -> str:
+    """Serialise an expression to a canonical s-expression string."""
+    if isinstance(expr, Const):
+        if isinstance(expr.sort, BoolSort):
+            return "true" if expr.value else "false"
+        if isinstance(expr.sort, EnumSort):
+            return f"(const {expr.value} {_sort_sexpr(expr.sort)})"
+        return str(expr.value)
+    if isinstance(expr, Var):
+        marker = "var'" if expr.primed else "var"
+        return f"({marker} {expr.name} {_sort_sexpr(expr.sort)})"
+    if isinstance(expr, Not):
+        return f"(not {dumps(expr.arg)})"
+    if isinstance(expr, And):
+        return "(and " + " ".join(dumps(a) for a in expr.args) + ")"
+    if isinstance(expr, Or):
+        return "(or " + " ".join(dumps(a) for a in expr.args) + ")"
+    if isinstance(expr, Implies):
+        return f"(=> {dumps(expr.lhs)} {dumps(expr.rhs)})"
+    if isinstance(expr, Iff):
+        return f"(<=> {dumps(expr.lhs)} {dumps(expr.rhs)})"
+    if isinstance(expr, Eq):
+        return f"(= {dumps(expr.lhs)} {dumps(expr.rhs)})"
+    if isinstance(expr, Lt):
+        return f"(< {dumps(expr.lhs)} {dumps(expr.rhs)})"
+    if isinstance(expr, Le):
+        return f"(<= {dumps(expr.lhs)} {dumps(expr.rhs)})"
+    if isinstance(expr, Add):
+        return "(+ " + " ".join(dumps(a) for a in expr.args) + ")"
+    if isinstance(expr, Sub):
+        return f"(- {dumps(expr.lhs)} {dumps(expr.rhs)})"
+    if isinstance(expr, Neg):
+        return f"(neg {dumps(expr.arg)})"
+    if isinstance(expr, Mul):
+        return f"(* {dumps(expr.lhs)} {dumps(expr.rhs)})"
+    if isinstance(expr, Ite):
+        return f"(ite {dumps(expr.cond)} {dumps(expr.then)} {dumps(expr.other)})"
+    raise TypeError(f"cannot serialise node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    current = ""
+    for char in text:
+        if char in "()":
+            if current:
+                tokens.append(current)
+                current = ""
+            tokens.append(char)
+        elif char.isspace():
+            if current:
+                tokens.append(current)
+                current = ""
+        else:
+            current += char
+    if current:
+        tokens.append(current)
+    return tokens
+
+
+def _parse_tree(tokens: list[str], pos: int) -> tuple[object, int]:
+    if pos >= len(tokens):
+        raise SexprError("unexpected end of input")
+    token = tokens[pos]
+    if token == "(":
+        items = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            item, pos = _parse_tree(tokens, pos)
+            items.append(item)
+        if pos >= len(tokens):
+            raise SexprError("missing closing parenthesis")
+        return items, pos + 1
+    if token == ")":
+        raise SexprError("unexpected ')'")
+    return token, pos + 1
+
+
+def _parse_sort(tree: object) -> Sort:
+    if tree == "bool":
+        return BOOL
+    if isinstance(tree, list) and tree:
+        if tree[0] == "int" and len(tree) == 3:
+            return IntSort(int(tree[1]), int(tree[2]))
+        if tree[0] == "enum" and len(tree) >= 3:
+            return EnumSort(str(tree[1]), tuple(str(m) for m in tree[2:]))
+    raise SexprError(f"bad sort: {tree!r}")
+
+
+def _build(tree: object) -> Expr:
+    if isinstance(tree, str):
+        if tree == "true":
+            return Const(1, BOOL)
+        if tree == "false":
+            return Const(0, BOOL)
+        try:
+            value = int(tree)
+        except ValueError:
+            raise SexprError(f"unknown atom {tree!r}") from None
+        return Const(value, IntSort(value, value))
+    if not isinstance(tree, list) or not tree:
+        raise SexprError(f"bad expression: {tree!r}")
+    head = tree[0]
+    args = tree[1:]
+    if head in ("var", "var'"):
+        if len(args) != 2:
+            raise SexprError(f"var needs name and sort: {tree!r}")
+        variable = Var(str(args[0]), _parse_sort(args[1]))
+        return variable.prime() if head == "var'" else variable
+    if head == "const":
+        if len(args) != 2:
+            raise SexprError(f"const needs value and sort: {tree!r}")
+        return Const(int(args[0]), _parse_sort(args[1]))
+    operands = [_build(a) for a in args]
+    builders = {
+        "not": lambda: lnot(*operands),
+        "and": lambda: land(*operands),
+        "or": lambda: lor(*operands),
+        "=>": lambda: implies(*operands),
+        "<=>": lambda: iff(*operands),
+        "=": lambda: eq(*operands),
+        "<": lambda: lt(*operands),
+        "<=": lambda: le(*operands),
+        "+": lambda: add(*operands),
+        "-": lambda: sub(*operands),
+        "neg": lambda: neg(*operands),
+        "*": lambda: mul(*operands),
+        "ite": lambda: ite(*operands),
+    }
+    if head not in builders:
+        raise SexprError(f"unknown operator {head!r}")
+    try:
+        return builders[head]()
+    except TypeError as exc:
+        raise SexprError(f"bad arity for {head!r}: {exc}") from exc
+
+
+def loads(text: str) -> Expr:
+    """Parse a serialised expression back into the IR.
+
+    Rebuilding goes through the smart constructors, so the result is the
+    *normalised* form of what was written -- semantically identical, and
+    structurally identical for anything :func:`dumps` produced from an
+    already-normalised expression.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SexprError("empty input")
+    tree, pos = _parse_tree(tokens, 0)
+    if pos != len(tokens):
+        raise SexprError(f"trailing tokens: {tokens[pos:]}")
+    return _build(tree)

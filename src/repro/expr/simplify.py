@@ -1,0 +1,77 @@
+"""Local simplification of expressions.
+
+The smart constructors in :mod:`repro.expr.ast` already fold constants as
+expressions are built; :func:`simplify` re-runs that folding over a whole
+tree (useful after substitution) and applies a handful of extra local
+rules that keep learned guards and extracted invariants readable:
+
+* ``x = c1 ∧ x = c2`` with ``c1 ≠ c2``  →  ``false``
+* ``x = c1 ∨ x ≠ c1`` →  ``true``  (complement detection in general)
+* enum equality sweeps: ``x = A ∨ x = B ∨ ... `` over *all* members → ``true``
+* implication with syntactically identical sides → ``true``
+"""
+
+from __future__ import annotations
+
+from .ast import And, Const, Eq, Expr, FALSE, Not, Or, TRUE, Var, land, lnot, lor
+from .subst import transform
+from .types import EnumSort
+
+
+def simplify(expr: Expr) -> Expr:
+    """Rebuild through smart constructors, then apply local rules."""
+    rebuilt = transform(expr, lambda leaf: leaf)
+    return _rules(rebuilt)
+
+
+def _as_var_eq_const(expr: Expr) -> tuple[Var, int] | None:
+    if isinstance(expr, Eq) and isinstance(expr.lhs, Var) and isinstance(expr.rhs, Const):
+        return expr.lhs, expr.rhs.value
+    if isinstance(expr, Eq) and isinstance(expr.rhs, Var) and isinstance(expr.lhs, Const):
+        return expr.rhs, expr.lhs.value
+    return None
+
+
+def _rules(expr: Expr) -> Expr:
+    if isinstance(expr, And):
+        args = [_rules(a) for a in expr.args]
+        # Contradicting equalities on the same variable.
+        seen: dict[Var, int] = {}
+        for arg in args:
+            pair = _as_var_eq_const(arg)
+            if pair is not None:
+                var, value = pair
+                if var in seen and seen[var] != value:
+                    return FALSE
+                seen[var] = value
+        # Complement pair detection.
+        for arg in args:
+            if lnot(arg) in args:
+                return FALSE
+        return land(*args)
+    if isinstance(expr, Or):
+        args = [_rules(a) for a in expr.args]
+        for arg in args:
+            if lnot(arg) in args:
+                return TRUE
+        # Enum sweep: disjunction of equalities covering every member.
+        by_var: dict[Var, set[int]] = {}
+        for arg in args:
+            pair = _as_var_eq_const(arg)
+            if pair is not None and isinstance(pair[0].sort, EnumSort):
+                by_var.setdefault(pair[0], set()).add(pair[1])
+        for var, values in by_var.items():
+            if len(values) == var.sort.cardinality:
+                return TRUE
+        return lor(*args)
+    if isinstance(expr, Not):
+        return lnot(_rules(expr.arg))
+    return expr
+
+
+def is_trivially_true(expr: Expr) -> bool:
+    return simplify(expr) == TRUE
+
+
+def is_trivially_false(expr: Expr) -> bool:
+    return simplify(expr) == FALSE

@@ -1,0 +1,151 @@
+"""Substitution and priming transforms over expressions.
+
+The completeness conditions of the paper mix predicates evaluated "now"
+(at observation ``v_t``) with predicates evaluated one step later (at
+``v_t+1``).  The model checker realises "one step later" by rewriting a
+predicate over ``X`` into the same predicate over the primed copies
+``X'`` -- that is :func:`to_primed`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .ast import (
+    Add,
+    And,
+    Const,
+    Eq,
+    Expr,
+    Iff,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Var,
+    add,
+    eq,
+    iff,
+    implies,
+    ite,
+    land,
+    le,
+    lnot,
+    lor,
+    lt,
+    mul,
+    neg,
+    sub,
+)
+
+
+def transform(expr: Expr, leaf_fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild ``expr`` bottom-up, applying ``leaf_fn`` to Var/Const leaves.
+
+    Rebuilding goes through the smart constructors, so substituting
+    constants folds the expression along the way.
+    """
+    if isinstance(expr, (Var, Const)):
+        return leaf_fn(expr)
+    if isinstance(expr, Not):
+        return lnot(transform(expr.arg, leaf_fn))
+    if isinstance(expr, And):
+        return land(*(transform(a, leaf_fn) for a in expr.args))
+    if isinstance(expr, Or):
+        return lor(*(transform(a, leaf_fn) for a in expr.args))
+    if isinstance(expr, Implies):
+        return implies(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
+    if isinstance(expr, Iff):
+        return iff(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
+    if isinstance(expr, Eq):
+        return eq(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
+    if isinstance(expr, Lt):
+        return lt(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
+    if isinstance(expr, Le):
+        return le(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
+    if isinstance(expr, Add):
+        return add(*(transform(a, leaf_fn) for a in expr.args))
+    if isinstance(expr, Sub):
+        return sub(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
+    if isinstance(expr, Neg):
+        return neg(transform(expr.arg, leaf_fn))
+    if isinstance(expr, Mul):
+        return mul(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
+    if isinstance(expr, Ite):
+        return ite(
+            transform(expr.cond, leaf_fn),
+            transform(expr.then, leaf_fn),
+            transform(expr.other, leaf_fn),
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def substitute(expr: Expr, mapping: Mapping[Var, Expr]) -> Expr:
+    """Replace variables according to ``mapping`` (missing vars unchanged)."""
+
+    def leaf(node: Expr) -> Expr:
+        if isinstance(node, Var):
+            return mapping.get(node, node)
+        return node
+
+    return transform(expr, leaf)
+
+
+def substitute_values(expr: Expr, env: Mapping[str, int]) -> Expr:
+    """Plug concrete values (by qualified name) into ``expr`` and fold."""
+
+    def leaf(node: Expr) -> Expr:
+        if isinstance(node, Var) and node.qualified_name in env:
+            return Const(env[node.qualified_name], node.sort)
+        return node
+
+    return transform(expr, leaf)
+
+
+def to_primed(expr: Expr) -> Expr:
+    """Rewrite every unprimed variable ``x`` to its primed copy ``x'``.
+
+    Used to evaluate a predicate "at the next observation": condition (2)
+    of the paper asserts ``v_t+1 |= p_o``, which the checker encodes as
+    ``to_primed(p_o)`` over the one-step unrolling.
+    """
+
+    def leaf(node: Expr) -> Expr:
+        if isinstance(node, Var) and not node.primed:
+            return node.prime()
+        return node
+
+    return transform(expr, leaf)
+
+
+def to_unprimed(expr: Expr) -> Expr:
+    """Rewrite every primed variable ``x'`` back to ``x``."""
+
+    def leaf(node: Expr) -> Expr:
+        if isinstance(node, Var) and node.primed:
+            return node.unprime()
+        return node
+
+    return transform(expr, leaf)
+
+
+def rename_step(expr: Expr, step_of_unprimed: int, namer: Callable[[str, int], Var]) -> Expr:
+    """Rewrite ``x``/``x'`` into per-step variables for BMC unrollings.
+
+    ``namer(name, t)`` must return the variable standing for ``name`` at
+    time-step ``t``; unprimed vars map to ``step_of_unprimed`` and primed
+    vars to ``step_of_unprimed + 1``.
+    """
+
+    def leaf(node: Expr) -> Expr:
+        if isinstance(node, Var):
+            step = step_of_unprimed + (1 if node.primed else 0)
+            return namer(node.name, step)
+        return node
+
+    return transform(expr, leaf)

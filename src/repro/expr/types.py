@@ -1,0 +1,138 @@
+"""Sorts (types) for the expression IR.
+
+The expression language is deliberately small: Booleans, bounded integers
+and enumerations.  This mirrors what the paper's tool chain sees -- the C
+code generated from Stateflow charts manipulates fixed-width integers,
+enumerated mode variables and Booleans, and CBMC reasons about them with
+bit-precise semantics.
+
+Bounded integers carry an inclusive ``[lo, hi]`` range.  The range serves
+three purposes:
+
+* it tells the bit-blaster (:mod:`repro.smt`) how many bits are needed,
+* it tells samplers and the explicit-state engine which values to enumerate,
+* it lets interval analysis pick exact widths so that arithmetic never
+  wraps (unlike raw machine arithmetic, every operation is given enough
+  result bits; this matches CBMC's behaviour on the generated code, where
+  the code generator chooses types large enough for the modelled ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Sort:
+    """Base class for all sorts."""
+
+    __slots__ = ()
+
+    def is_bool(self) -> bool:
+        return isinstance(self, BoolSort)
+
+    def is_int(self) -> bool:
+        return isinstance(self, IntSort)
+
+    def is_enum(self) -> bool:
+        return isinstance(self, EnumSort)
+
+
+@dataclass(frozen=True)
+class BoolSort(Sort):
+    """The Boolean sort."""
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class IntSort(Sort):
+    """Bounded integer sort with inclusive range ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty integer range [{self.lo}, {self.hi}]")
+
+    def __str__(self) -> str:
+        return f"int[{self.lo},{self.hi}]"
+
+    @property
+    def cardinality(self) -> int:
+        return self.hi - self.lo + 1
+
+    def values(self) -> range:
+        """All values of the sort, smallest first."""
+        return range(self.lo, self.hi + 1)
+
+    def clamp(self, value: int) -> int:
+        """Clamp ``value`` into the range (used by saturating samplers)."""
+        return max(self.lo, min(self.hi, value))
+
+
+@dataclass(frozen=True)
+class EnumSort(Sort):
+    """Enumeration sort.
+
+    Members are identified by position; expression values of an enum sort
+    are the member *indices* (small non-negative ints).  The printer maps
+    indices back to member names.
+    """
+
+    name: str
+    members: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError(f"enum {self.name!r} has no members")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"enum {self.name!r} has duplicate members")
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.members)
+
+    def values(self) -> range:
+        return range(len(self.members))
+
+    def index_of(self, member: str) -> int:
+        """Index of ``member``; raises ``ValueError`` if unknown."""
+        try:
+            return self.members.index(member)
+        except ValueError:
+            raise ValueError(
+                f"enum {self.name!r} has no member {member!r}; "
+                f"members are {self.members}"
+            ) from None
+
+    def member_name(self, index: int) -> str:
+        if not 0 <= index < len(self.members):
+            raise ValueError(f"enum {self.name!r} has no member index {index}")
+        return self.members[index]
+
+
+BOOL = BoolSort()
+
+
+def int_sort(lo: int, hi: int) -> IntSort:
+    """Convenience constructor for :class:`IntSort`."""
+    return IntSort(lo, hi)
+
+
+def enum_sort(name: str, *members: str) -> EnumSort:
+    """Convenience constructor for :class:`EnumSort`."""
+    return EnumSort(name, tuple(members))
+
+
+def sort_values(sort: Sort) -> range:
+    """All concrete values of a finite sort (bool maps to ``range(2)``)."""
+    if isinstance(sort, BoolSort):
+        return range(2)
+    if isinstance(sort, (IntSort, EnumSort)):
+        return sort.values()
+    raise TypeError(f"not a finite sort: {sort!r}")

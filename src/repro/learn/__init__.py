@@ -1,0 +1,26 @@
+"""Model-learning substrate: pluggable trace-to-NFA components."""
+
+from .base import (
+    LearningError,
+    ModelLearner,
+    detect_mode_variables,
+    infer_variables,
+)
+from .ktails import KTailsLearner
+from .predicates import candidate_atoms, synthesize_separator
+from .sat_dfa import IdentifiedDfa, SatDfaLearner, identify_dfa
+from .t2m import T2MLearner
+
+__all__ = [
+    "IdentifiedDfa",
+    "KTailsLearner",
+    "LearningError",
+    "ModelLearner",
+    "SatDfaLearner",
+    "T2MLearner",
+    "candidate_atoms",
+    "detect_mode_variables",
+    "identify_dfa",
+    "infer_variables",
+    "synthesize_separator",
+]

@@ -1,0 +1,71 @@
+"""The pluggable model-learning interface (paper §II-B).
+
+The active-learning algorithm requires exactly one thing of its learning
+component: *given a set of execution traces T, return an NFA that accepts
+(at least) all traces in T*.  Anything satisfying :class:`ModelLearner`
+can be plugged in; the reproduction ships three implementations with
+different inductive biases (T2M-style symbolic, k-tails state-merging,
+SAT-minimal DFA identification).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..automata.nfa import SymbolicNFA
+from ..expr.ast import Var
+from ..expr.types import IntSort
+from ..traces.trace import TraceSet
+
+
+@runtime_checkable
+class ModelLearner(Protocol):
+    """Anything that learns an NFA accepting a trace set."""
+
+    def learn(self, traces: TraceSet) -> SymbolicNFA:
+        """Return an NFA admitting every trace in ``traces``."""
+        ...
+
+
+class LearningError(RuntimeError):
+    """Raised when a learner cannot produce a model for the given traces."""
+
+
+def infer_variables(traces: TraceSet) -> dict[str, Var]:
+    """Infer variable declarations from trace data alone.
+
+    Black-box fallback when no instrumentation metadata is available:
+    every variable becomes a bounded int covering its observed range.
+    (With metadata, pass the system's typed variables instead -- guards
+    then render with enum member names.)
+    """
+    lows: dict[str, int] = {}
+    highs: dict[str, int] = {}
+    for observation in traces.observations():
+        for name, value in observation.items():
+            lows[name] = min(value, lows.get(name, value))
+            highs[name] = max(value, highs.get(name, value))
+    return {
+        name: Var(name, IntSort(lows[name], highs[name])) for name in lows
+    }
+
+
+def detect_mode_variables(
+    traces: TraceSet, max_distinct: int = 8
+) -> list[str]:
+    """Heuristic mode-variable detection for the black-box setting.
+
+    Variables with at most ``max_distinct`` observed values are treated
+    as mode-like (chart states, Boolean outputs); the rest as data.  If
+    nothing qualifies, every variable is mode-like (tiny systems).
+    """
+    values: dict[str, set[int]] = {}
+    for observation in traces.observations():
+        for name, value in observation.items():
+            values.setdefault(name, set()).add(value)
+    modes = [
+        name
+        for name, seen in sorted(values.items())
+        if len(seen) <= max_distinct
+    ]
+    return modes or sorted(values)

@@ -1,0 +1,220 @@
+"""k-tails state-merging learner (Biermann-Feldman lineage).
+
+An alternative pluggable learning component: build the prefix tree
+acceptor over *mode sequences* and quotient it by k-tail equivalence
+(two states merge when the sets of event sequences of length ≤ k leaving
+them coincide).  Merging only ever grows the language, so the result
+admits every input trace -- the contract the active loop requires.
+
+Compared to the T2M-style learner this component is purely syntactic: no
+predicate synthesis, guards are mode equalities.  It exists to exercise
+the paper's claim that the evaluation procedure is independent of the
+learner (§II-B) and is swapped in by the learner-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from ..automata.nfa import SymbolicNFA
+from ..expr.ast import Expr, Var, eq, land
+from ..expr.types import EnumSort
+from ..system.valuation import Valuation
+from ..traces.trace import TraceSet
+from .base import detect_mode_variables, infer_variables
+
+
+class _PtaNode:
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        self.children: dict[tuple[int, ...], _PtaNode] = {}
+
+
+def _embeds(small: tuple, big: tuple) -> bool:
+    """Does signature ``small`` embed into ``big`` as a truncated view?
+
+    Traces are finite, so a PTA node near a trace end has seen only a
+    prefix of the behaviour a longer run would show.  ``small`` embeds in
+    ``big`` when every event of ``small`` appears in ``big`` with a
+    recursively embeddable sub-signature -- i.e. ``small`` could be
+    ``big`` observed through a shorter window.
+    """
+    big_map = dict(big)
+    for event, sub in small:
+        if event not in big_map or not _embeds(sub, big_map[event]):
+            return False
+    return True
+
+
+def _absorption_map(sig_of_class: dict[int, tuple]) -> dict[int, int]:
+    """Map every class to a maximally general class absorbing it.
+
+    Left unmerged, truncated-future classes are under-approximations whose
+    completeness conditions (paper §III-A) can never hold -- every
+    learning iteration would create fresh ones and the active loop could
+    not converge.  Absorption only redirects edges toward more general
+    classes, so the learned language grows and training traces stay
+    admitted.
+    """
+    ids = sorted(sig_of_class)
+    rep: dict[int, int] = {}
+    for cls in ids:
+        sig = sig_of_class[cls]
+        absorbers = [
+            other
+            for other in ids
+            if other != cls
+            and _embeds(sig, sig_of_class[other])
+            and not _embeds(sig_of_class[other], sig)
+        ]
+        # A maximal absorber: one that no other absorber strictly embeds in.
+        maximal = [
+            a
+            for a in absorbers
+            if not any(
+                _embeds(sig_of_class[a], sig_of_class[b])
+                and not _embeds(sig_of_class[b], sig_of_class[a])
+                for b in absorbers
+            )
+        ]
+        target = min(maximal) if maximal else cls
+        rep[cls] = target
+    return rep
+
+
+class KTailsLearner:
+    """Prefix-tree acceptor + k-tails merging over mode sequences."""
+
+    def __init__(
+        self,
+        k: int = 2,
+        mode_vars: list[str] | None = None,
+        variables: dict[str, Var] | None = None,
+        max_distinct: int = 8,
+    ):
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self._k = k
+        self._mode_vars = list(mode_vars) if mode_vars else None
+        self._variables = dict(variables) if variables else None
+        self._max_distinct = max_distinct
+
+    # ------------------------------------------------------------------
+    def learn(self, traces: TraceSet) -> SymbolicNFA:
+        variables = self._variables or infer_variables(traces)
+        mode_names = self._mode_vars or detect_mode_variables(
+            traces, self._max_distinct
+        )
+        mode_vars = [variables[name] for name in mode_names]
+
+        root = _PtaNode()
+        for trace in traces:
+            node = root
+            for observation in trace:
+                event = tuple(observation[name] for name in mode_names)
+                node = node.children.setdefault(event, _PtaNode())
+
+        signatures: dict[int, tuple] = {}
+
+        def signature(node: _PtaNode, depth: int) -> tuple:
+            if depth == 0:
+                return ()
+            key = (id(node), depth)
+            if key not in signatures:
+                signatures[key] = tuple(
+                    sorted(
+                        (event, signature(child, depth - 1))
+                        for event, child in node.children.items()
+                    )
+                )
+            return signatures[key]
+
+        # Quotient the PTA by k-tail signature.
+        classes: dict[tuple, int] = {}
+        node_class: dict[int, int] = {}
+
+        def class_of(node: _PtaNode) -> int:
+            sig = signature(node, self._k)
+            if sig not in classes:
+                classes[sig] = len(classes)
+            node_class[id(node)] = classes[sig]
+            return classes[sig]
+
+        edges: set[tuple[int, tuple[int, ...], int]] = set()
+        stack = [root]
+        visited: set[int] = set()
+        root_class = class_of(root)
+        while stack:
+            node = stack.pop()
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            src = class_of(node)
+            for event, child in sorted(node.children.items()):
+                edges.add((src, event, class_of(child)))
+                stack.append(child)
+
+        sig_of_class = {cls: sig for sig, cls in classes.items()}
+        rep = _absorption_map(sig_of_class)
+        edges = {
+            (rep[src], event, rep[dst]) for src, event, dst in edges
+        }
+        return self._build_nfa(edges, rep[root_class], mode_vars)
+
+    def _build_nfa(
+        self,
+        edges: set[tuple[int, tuple[int, ...], int]],
+        root_class: int,
+        mode_vars: list[Var],
+    ) -> SymbolicNFA:
+        nfa = SymbolicNFA()
+        state_of_class: dict[int, int] = {}
+
+        def state_for(cls: int) -> int:
+            if cls not in state_of_class:
+                state_of_class[cls] = nfa.add_state(f"c{cls}")
+            return state_of_class[cls]
+
+        nfa.mark_initial(state_for(root_class))
+        for src, event, dst in sorted(edges):
+            nfa.add_transition(
+                state_for(src), self._guard(event, mode_vars), state_for(dst)
+            )
+        self._name_states(nfa, mode_vars)
+        return nfa
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _guard(event: tuple[int, ...], mode_vars: list[Var]) -> Expr:
+        return land(*(eq(var, value) for var, value in zip(mode_vars, event)))
+
+    @staticmethod
+    def _name_states(nfa: SymbolicNFA, mode_vars: list[Var]) -> None:
+        """Name each state by the (unique) mode of its incoming edges."""
+        for state in nfa.states:
+            incoming = nfa.incoming(state)
+            guards = {t.guard for t in incoming}
+            if len(guards) == 1:
+                guard = next(iter(guards))
+                label = _short_label(guard, mode_vars)
+                if label:
+                    nfa.set_state_name(state, label)
+
+
+def _short_label(guard: Expr, mode_vars: list[Var]) -> str | None:
+    from ..expr.ast import And, Const, Eq
+
+    parts: list[str] = []
+    conjuncts = guard.args if isinstance(guard, And) else (guard,)
+    for conjunct in conjuncts:
+        if not (
+            isinstance(conjunct, Eq)
+            and isinstance(conjunct.lhs, Var)
+            and isinstance(conjunct.rhs, Const)
+        ):
+            return None
+        var, value = conjunct.lhs, conjunct.rhs.value
+        if isinstance(var.sort, EnumSort):
+            parts.append(var.sort.member_name(value))
+        else:
+            parts.append(f"{var.name}={value}")
+    return ",".join(parts) if parts else None

@@ -1,0 +1,170 @@
+"""Enumerative predicate synthesis for transition guards.
+
+This is the reproduction's stand-in for T2M's program-synthesis
+component: given positive and negative example observations for an edge,
+find a small predicate over the data variables that covers every
+positive and excludes every negative.
+
+The grammar is deliberately the one the paper's models exhibit
+(cf. Fig. 2): threshold atoms ``v > c`` and their negations, equalities
+for small domains, Boolean literals, and conjunctions/disjunctions of at
+most a few atoms.  Candidates are enumerated smallest-first and the
+search is deterministic, so learned guards are stable across runs.
+Thresholds come from the observed data, which is why guards sharpen as
+the active loop feeds counterexample traces back in (boundary examples
+move the learned cut points toward the true ones).
+
+Implementation notes.  Atom semantics over the (deduplicated) example
+set are precomputed as bitmasks -- one bit per example -- so testing a
+conjunction or disjunction is two integer ops.  Integer variables only
+contribute *boundary* cuts (values where the pos/neg label actually
+changes along the sorted axis), which keeps the atom pool small even for
+wide domains; this is the classic decision-tree reduction and loses no
+separating power for single atoms.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..expr.ast import Expr, Var, eq, gt, land, lnot, lor
+from ..expr.eval import holds
+from ..expr.types import BoolSort, EnumSort, IntSort
+from ..system.valuation import Valuation
+
+_MAX_EQ_DOMAIN = 6   # enumerate equality atoms only for small domains
+_MAX_PAIR_ATOMS = 64  # cap for the 2-atom search
+_MAX_TRIPLE_ATOMS = 28  # cap for the 3-atom search
+
+
+def _int_cut_values(
+    var: Var, pos: Sequence[Valuation], neg: Sequence[Valuation]
+) -> list[int]:
+    """Boundary cuts for an int variable: values where the label flips."""
+    labelled = sorted(
+        {(obs[var.name], True) for obs in pos}
+        | {(obs[var.name], False) for obs in neg}
+    )
+    by_value: dict[int, set[bool]] = {}
+    for value, label in labelled:
+        by_value.setdefault(value, set()).add(label)
+    values = sorted(by_value)
+    cuts = []
+    for left, right in zip(values, values[1:]):
+        if by_value[left] != by_value[right] or len(by_value[left]) > 1:
+            cuts.append(left)
+    return cuts
+
+
+def candidate_atoms(
+    variables: Sequence[Var],
+    pos: Sequence[Valuation],
+    neg: Sequence[Valuation],
+) -> list[Expr]:
+    """Atomic predicates suggested by the data, in deterministic order."""
+    atoms: list[Expr] = []
+    for var in variables:
+        if isinstance(var.sort, BoolSort):
+            atoms.append(eq(var, True))
+            atoms.append(eq(var, False))
+            continue
+        if isinstance(var.sort, EnumSort):
+            observed = sorted(
+                {obs[var.name] for obs in pos} | {obs[var.name] for obs in neg}
+            )
+            for value in observed:
+                atoms.append(eq(var, value))
+                atoms.append(lnot(eq(var, value)))
+            continue
+        if isinstance(var.sort, IntSort):
+            # Threshold atoms at label boundaries, written with > so the
+            # rendered guards match the paper's ``(inp.temp > T_thresh)``.
+            cuts = _int_cut_values(var, pos, neg)
+            for cut in cuts:
+                atoms.append(gt(var, cut))
+                atoms.append(lnot(gt(var, cut)))
+            observed = {obs[var.name] for obs in pos} | {
+                obs[var.name] for obs in neg
+            }
+            if len(observed) <= _MAX_EQ_DOMAIN:
+                for value in sorted(observed):
+                    atoms.append(eq(var, value))
+                    atoms.append(lnot(eq(var, value)))
+    return atoms
+
+
+def synthesize_separator(
+    pos: Iterable[Valuation],
+    neg: Iterable[Valuation],
+    variables: Sequence[Var],
+    max_atoms: int = 3,
+) -> Expr | None:
+    """Smallest predicate true on all of ``pos`` and false on all of ``neg``.
+
+    Searches single atoms, then conjunctions, then disjunctions of up to
+    ``max_atoms`` atoms; returns ``None`` when the grammar cannot separate
+    (the caller then falls back to an unconstrained guard, which keeps
+    the learned model a sound over-approximation).
+    """
+    pos_list = list(dict.fromkeys(pos))
+    neg_list = list(dict.fromkeys(neg))
+    if not pos_list or not neg_list:
+        # Nothing to separate from; the weakest guard is the right one.
+        return None
+    atoms = candidate_atoms(variables, pos_list, neg_list)
+    if not atoms:
+        return None
+
+    # Bitmask semantics: bit i of pos_mask(atom) = atom holds on pos[i].
+    pos_full = (1 << len(pos_list)) - 1
+    neg_full = (1 << len(neg_list)) - 1
+    evaluated: list[tuple[Expr, int, int]] = []
+    for atom in atoms:
+        pos_mask = 0
+        for index, obs in enumerate(pos_list):
+            if holds(atom, obs):
+                pos_mask |= 1 << index
+        neg_mask = 0
+        for index, obs in enumerate(neg_list):
+            if holds(atom, obs):
+                neg_mask |= 1 << index
+        evaluated.append((atom, pos_mask, neg_mask))
+
+    # Single atoms.
+    for atom, pos_mask, neg_mask in evaluated:
+        if pos_mask == pos_full and neg_mask == 0:
+            return atom
+
+    # Conjunctions need atoms covering all positives; disjunctions need
+    # atoms excluding all negatives.
+    covers_pos = [e for e in evaluated if e[1] == pos_full]
+    excludes_neg = [e for e in evaluated if e[2] == 0]
+
+    def conj_search(size: int, pool: list[tuple[Expr, int, int]]) -> Expr | None:
+        for combo in combinations(pool, size):
+            neg_mask = neg_full
+            for _atom, _pm, nm in combo:
+                neg_mask &= nm
+            if neg_mask == 0:
+                return land(*(atom for atom, _pm, _nm in combo))
+        return None
+
+    def disj_search(size: int, pool: list[tuple[Expr, int, int]]) -> Expr | None:
+        for combo in combinations(pool, size):
+            pos_mask = 0
+            for _atom, pm, _nm in combo:
+                pos_mask |= pm
+            if pos_mask == pos_full:
+                return lor(*(atom for atom, _pm, _nm in combo))
+        return None
+
+    for size in range(2, max_atoms + 1):
+        cap = _MAX_PAIR_ATOMS if size == 2 else _MAX_TRIPLE_ATOMS
+        found = conj_search(size, covers_pos[:cap])
+        if found is not None:
+            return found
+        found = disj_search(size, excludes_neg[:cap])
+        if found is not None:
+            return found
+    return None

@@ -1,0 +1,248 @@
+"""SAT-based minimal DFA identification (Heule-Verwer style encoding).
+
+The third pluggable learning component, and the one closest to the SAT
+core of the real Trace2Model: find the smallest deterministic automaton
+over a finite event alphabet consistent with labelled example sequences.
+
+With positive examples only (the active-learning setting: execution
+traces, prefix-closed) the minimal consistent DFA is the single-state
+automaton with one self-loop per observed event -- maximally permissive
+but still structurally informative (it records which events occur at
+all), and it satisfies the active loop's contract of admitting every
+input trace.  Supplying *negative* sequences (e.g. from a teacher, or
+from the spuriousness checker's proved-unreachable states) makes the
+identification non-trivial; tests exercise both regimes.
+
+The encoding, for ``n`` colours over the augmented prefix tree (APT):
+
+* ``x[v,i]``  -- APT node ``v`` has colour ``i`` (exactly-one per node);
+* ``y[a,i,j]`` -- the DFA moves ``i --a--> j`` (at-most-one ``j``);
+* parent constraints tie node colours to transitions;
+* accepting and rejecting nodes may not share a colour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Sequence
+
+from ..automata.nfa import SymbolicNFA
+from ..expr.ast import Expr, Var, eq, land
+from ..sat.cnf import CNF
+from ..sat.solver import Solver
+from ..system.valuation import Valuation
+from ..traces.trace import TraceSet
+from .base import detect_mode_variables, infer_variables
+
+Event = Hashable
+
+
+@dataclass
+class IdentifiedDfa:
+    """A DFA over an abstract event alphabet."""
+
+    num_states: int
+    initial: int
+    transitions: dict[tuple[int, Event], int]
+    accepting: frozenset[int]
+
+    def accepts(self, word: Sequence[Event]) -> bool:
+        state = self.initial
+        for event in word:
+            key = (state, event)
+            if key not in self.transitions:
+                return False
+            state = self.transitions[key]
+        return state in self.accepting
+
+
+class _Apt:
+    """Augmented prefix tree over positive/negative words."""
+
+    def __init__(self) -> None:
+        self.parent: list[tuple[int, Event] | None] = [None]
+        self.label: list[bool | None] = [None]  # True acc, False rej
+        self._index: dict[tuple[int, Event], int] = {}
+
+    def insert(
+        self, word: Sequence[Event], positive: bool, prefix_closed: bool = False
+    ) -> None:
+        node = 0
+        path = [0]
+        for event in word:
+            key = (node, event)
+            if key not in self._index:
+                self._index[key] = len(self.parent)
+                self.parent.append(key)
+                self.label.append(None)
+            node = self._index[key]
+            path.append(node)
+        if positive:
+            # With prefix_closed (execution traces), every node on the
+            # path is accepting; otherwise only the word's own node.
+            to_mark = path if prefix_closed else [node]
+            for visited in to_mark:
+                if self.label[visited] is False:
+                    raise ValueError(f"contradictory labels for {word!r}")
+                self.label[visited] = True
+        else:
+            if self.label[node] is True:
+                raise ValueError(f"contradictory labels for {word!r}")
+            self.label[node] = False
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    def alphabet(self) -> list[Event]:
+        return sorted({key[1] for key in self._index}, key=repr)
+
+
+def identify_dfa(
+    positive: Sequence[Sequence[Event]],
+    negative: Sequence[Sequence[Event]] = (),
+    max_states: int = 12,
+    prefix_closed: bool = False,
+) -> IdentifiedDfa | None:
+    """Smallest consistent DFA with at most ``max_states`` states.
+
+    ``prefix_closed=True`` marks every prefix of a positive word as
+    accepting (the execution-trace setting); leave it off for classic
+    DFA identification where a rejected word may extend an accepted one.
+    """
+    apt = _Apt()
+    for word in positive:
+        apt.insert(word, positive=True, prefix_closed=prefix_closed)
+    for word in negative:
+        apt.insert(word, positive=False)
+    alphabet = apt.alphabet()
+    for num_states in range(1, max_states + 1):
+        dfa = _identify_with(apt, alphabet, num_states)
+        if dfa is not None:
+            return dfa
+    return None
+
+
+def _identify_with(
+    apt: _Apt, alphabet: list[Event], n: int
+) -> IdentifiedDfa | None:
+    cnf = CNF()
+    # x[v][i]: node v coloured i.
+    x = [[cnf.new_var() for _ in range(n)] for _ in range(apt.size)]
+    # y[a][i][j]: transition i --a--> j exists.
+    y = {
+        event: [[cnf.new_var() for _ in range(n)] for _ in range(n)]
+        for event in alphabet
+    }
+    for v in range(apt.size):
+        cnf.add_clause(x[v])  # at least one colour
+        for i, j in combinations(range(n), 2):
+            cnf.add_clause([-x[v][i], -x[v][j]])  # at most one
+    cnf.add_clause([x[0][0]])  # symmetry breaking: root is colour 0
+    # Determinism: at most one target colour per (event, source colour).
+    for event in alphabet:
+        for i in range(n):
+            for j, l in combinations(range(n), 2):
+                cnf.add_clause([-y[event][i][j], -y[event][i][l]])
+    # Parent constraints.
+    for v in range(1, apt.size):
+        parent, event = apt.parent[v]
+        for i in range(n):
+            for j in range(n):
+                # x[parent,i] ∧ x[v,j] -> y[event,i,j]
+                cnf.add_clause([-x[parent][i], -x[v][j], y[event][i][j]])
+                # y[event,i,j] ∧ x[parent,i] -> x[v,j]
+                cnf.add_clause([-y[event][i][j], -x[parent][i], x[v][j]])
+    # Accepting/rejecting separation.
+    accepting_nodes = [v for v in range(apt.size) if apt.label[v] is True]
+    rejecting_nodes = [v for v in range(apt.size) if apt.label[v] is False]
+    for acc in accepting_nodes:
+        for rej in rejecting_nodes:
+            for i in range(n):
+                cnf.add_clause([-x[acc][i], -x[rej][i]])
+    result = Solver(cnf).solve()
+    if not result.satisfiable:
+        return None
+    colour = [
+        next(i for i in range(n) if result.value(x[v][i]))
+        for v in range(apt.size)
+    ]
+    transitions: dict[tuple[int, Event], int] = {}
+    for v in range(1, apt.size):
+        parent, event = apt.parent[v]
+        transitions[(colour[parent], event)] = colour[v]
+    accepting = frozenset(colour[v] for v in accepting_nodes)
+    return IdentifiedDfa(
+        num_states=n,
+        initial=0,
+        transitions=transitions,
+        accepting=accepting or frozenset(range(n)),
+    )
+
+
+class SatDfaLearner:
+    """Pluggable learner built on :func:`identify_dfa`.
+
+    Events are mode valuations; optional negative event sequences make
+    the identification non-trivial.  See the module docstring for the
+    positive-only degeneracy discussion.
+    """
+
+    def __init__(
+        self,
+        mode_vars: list[str] | None = None,
+        variables: dict[str, Var] | None = None,
+        negative_sequences: Sequence[Sequence[tuple[int, ...]]] = (),
+        max_states: int = 12,
+        max_distinct: int = 8,
+    ):
+        self._mode_vars = list(mode_vars) if mode_vars else None
+        self._variables = dict(variables) if variables else None
+        self._negatives = [tuple(map(tuple, seq)) for seq in negative_sequences]
+        self._max_states = max_states
+        self._max_distinct = max_distinct
+
+    def learn(self, traces: TraceSet) -> SymbolicNFA:
+        from .base import LearningError
+
+        variables = self._variables or infer_variables(traces)
+        mode_names = self._mode_vars or detect_mode_variables(
+            traces, self._max_distinct
+        )
+        mode_vars = [variables[name] for name in mode_names]
+        words = [
+            tuple(
+                tuple(observation[name] for name in mode_names)
+                for observation in trace
+            )
+            for trace in traces
+        ]
+        dfa = identify_dfa(
+            words, self._negatives, self._max_states, prefix_closed=True
+        )
+        if dfa is None:
+            raise LearningError(
+                f"no consistent DFA with <= {self._max_states} states"
+            )
+        # SymbolicNFA semantics make every state accepting (rejection is
+        # running into a dead end).  Prefix-closure guarantees rejecting
+        # DFA states have no accepting descendants, so dropping them (and
+        # their edges) preserves the identified language exactly.
+        nfa = SymbolicNFA()
+        ids: dict[int, int] = {}
+        for state in sorted(dfa.accepting):
+            ids[state] = nfa.add_state(f"q{state}")
+        if dfa.initial not in ids:
+            raise LearningError("identified DFA rejects the empty trace")
+        nfa.mark_initial(ids[dfa.initial])
+        for (src, event), dst in sorted(
+            dfa.transitions.items(), key=lambda kv: (kv[0][0], repr(kv[0][1]))
+        ):
+            if src not in ids or dst not in ids:
+                continue
+            guard: Expr = land(
+                *(eq(var, value) for var, value in zip(mode_vars, event))
+            )
+            nfa.add_transition(ids[src], guard, ids[dst])
+        return nfa

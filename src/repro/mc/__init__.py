@@ -1,0 +1,80 @@
+"""Model-checking substrate: the CBMC stand-in.
+
+Engines: one-step condition checks (Fig. 3a), BMC, k-induction, exact
+explicit-state reachability, and the spuriousness classifier (Fig. 3b).
+"""
+
+from .bmc import bmc, bmc_single_query
+from .condition_check import (
+    IncrementalConditionChecker,
+    check_condition,
+    check_init_condition,
+)
+from .explicit import (
+    ExplicitReachability,
+    StateSpaceLimitExceeded,
+    reachable_formula,
+    shared_reachability,
+)
+from .harness import (
+    Harness,
+    condition_harness,
+    run_condition_harness,
+    run_spurious_harness,
+    spurious_harness,
+    strengthened_assumption,
+)
+from .kinduction import k_induction, prove_unreachable, step_case_holds
+from .symbolic import (
+    BddCompiler,
+    BddGateBuilder,
+    SymbolicReachability,
+    SymbolicSpuriousness,
+)
+from .spurious import (
+    ExplicitSpuriousness,
+    KInductionSpuriousness,
+    SpuriousnessChecker,
+    state_equality_formula,
+)
+from .verdicts import (
+    BmcResult,
+    ConditionCheckResult,
+    InductionOutcome,
+    KInductionResult,
+    SpuriousVerdict,
+)
+
+__all__ = [
+    "BddCompiler",
+    "BddGateBuilder",
+    "BmcResult",
+    "ConditionCheckResult",
+    "ExplicitReachability",
+    "ExplicitSpuriousness",
+    "Harness",
+    "IncrementalConditionChecker",
+    "InductionOutcome",
+    "KInductionResult",
+    "KInductionSpuriousness",
+    "SpuriousVerdict",
+    "SpuriousnessChecker",
+    "SymbolicReachability",
+    "SymbolicSpuriousness",
+    "StateSpaceLimitExceeded",
+    "reachable_formula",
+    "shared_reachability",
+    "bmc",
+    "bmc_single_query",
+    "check_condition",
+    "check_init_condition",
+    "condition_harness",
+    "k_induction",
+    "prove_unreachable",
+    "run_condition_harness",
+    "run_spurious_harness",
+    "spurious_harness",
+    "state_equality_formula",
+    "step_case_holds",
+    "strengthened_assumption",
+]

@@ -1,0 +1,132 @@
+"""The Fig. 3a condition check: ``assume(r); X' = f(X); assert(s)``.
+
+Each extracted completeness condition describes a *single* system
+transition, so (as the paper observes) k-induction with ``k = 1`` --
+i.e. one symbolic step from an arbitrary ``r``-state -- suffices: if the
+one-step query is unsatisfiable, the condition holds for any number of
+transitions from anywhere in the state space.
+
+The query posed to the SAT back-end is::
+
+    sorts(X) ∧ sorts(X') ∧ r(X) ∧ R(X, X') ∧ ¬s(X')
+
+A model is a counterexample pair ``(v_t, v_t+1)``; unsatisfiability means
+the condition is an invariant of the implementation.
+"""
+
+from __future__ import annotations
+
+from ..expr.ast import Expr, lnot
+from ..expr.subst import to_primed
+from ..smt.encoder import Encoder
+from ..smt.solver import SmtSolver
+from ..system.transition_system import SymbolicSystem
+from ..system.valuation import Valuation
+from .verdicts import ConditionCheckResult
+
+
+class IncrementalConditionChecker:
+    """Condition checker that encodes the transition relation once.
+
+    The active loop checks tens of conditions per iteration over the
+    same system, and spurious-counterexample strengthening re-checks the
+    same condition with a growing assumption.  Re-bit-blasting ``R``
+    every time dominates runtime on the larger benchmarks, so this
+    checker keeps one encoder with ``sorts(X, X') ∧ R(X, X')`` (plus any
+    base constraints) asserted and rolls each query back afterwards.
+    """
+
+    def __init__(self, system: SymbolicSystem):
+        self._system = system
+        self._encoder = Encoder()
+        for var in system.variables:
+            self._encoder.declare(var)
+            self._encoder.declare(var.prime())
+        self._encoder.assert_expr(system.trans)
+        self._sealed = False
+        self._mark = self._encoder.checkpoint()
+
+    def add_base_constraint(self, expr: Expr) -> None:
+        """Permanently assert ``expr`` (over the declared variables).
+
+        Used for domain-knowledge guidance (paper §IV-B.1): e.g. "v_t is
+        a reachable state", which steers the checker away from spurious
+        counterexamples.  Must be called before the first query.
+        """
+        if self._sealed:
+            raise RuntimeError("base constraints must precede queries")
+        self._encoder.assert_expr(expr)
+        self._mark = self._encoder.checkpoint()
+
+    def check(self, assume: Expr, conclusion: Expr) -> ConditionCheckResult:
+        """Same query as :func:`check_condition`, on the shared prefix."""
+        from ..sat.solver import Solver
+
+        self._sealed = True
+        encoder = self._encoder
+        try:
+            encoder.assert_expr(assume)
+            encoder.assert_expr(lnot(to_primed(conclusion)))
+            solver = Solver(encoder.cnf)
+            result = solver.solve()
+            if not result.satisfiable:
+                return ConditionCheckResult(holds=True, solver_checks=1)
+            model = encoder.decode_model(result.model)
+            v_t = Valuation(
+                {var.name: model[var.name] for var in self._system.variables}
+            )
+            v_t1 = Valuation(
+                {
+                    var.name: model[f"{var.name}'"]
+                    for var in self._system.variables
+                }
+            )
+            return ConditionCheckResult(
+                holds=False, counterexample=(v_t, v_t1), solver_checks=1
+            )
+        finally:
+            encoder.rollback(self._mark)
+
+
+def check_condition(
+    system: SymbolicSystem, assume: Expr, conclusion: Expr
+) -> ConditionCheckResult:
+    """Check ``v_t |= assume ∧ (v_t, v_t+1) |= R  ⟹  v_t+1 |= conclusion``.
+
+    ``assume`` and ``conclusion`` are predicates over the observables
+    ``X``; the conclusion is evaluated at the next observation by priming.
+    """
+    solver = SmtSolver()
+    # Declare all observables in both time frames so counterexample
+    # valuations are total.
+    for var in system.variables:
+        solver.declare(var)
+        solver.declare(var.prime())
+    solver.add(assume)
+    solver.add(system.trans)
+    solver.add(lnot(to_primed(conclusion)))
+    if not solver.check():
+        return ConditionCheckResult(holds=True, solver_checks=1)
+    model = solver.model()
+    v_t = Valuation(
+        {var.name: model[var.name] for var in system.variables}
+    )
+    v_t1 = Valuation(
+        {var.name: model[f"{var.name}'"] for var in system.variables}
+    )
+    return ConditionCheckResult(
+        holds=False, counterexample=(v_t, v_t1), solver_checks=1
+    )
+
+
+def check_init_condition(
+    system: SymbolicSystem, conclusion: Expr
+) -> ConditionCheckResult:
+    """Condition (1): from any initial state, one step satisfies the
+    disjunction of the initial automaton state's outgoing predicates.
+
+    The counterexample's first element ``v_0`` satisfies ``Init``; it is a
+    genuine pre-first-observation state, so these counterexamples are
+    never spurious (paper §III-B).
+    """
+    return check_condition(system, system.init, conclusion)

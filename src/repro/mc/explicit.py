@@ -1,0 +1,215 @@
+"""Explicit-state reachability engine.
+
+The paper's spuriousness checks (Fig. 3b) run k-induction with ``k`` up to
+the system diameter -- for benchmarks like FrameSyncController that means
+``k = 530`` transition unrollings, which is far beyond what a pure-Python
+SAT solver can absorb.  For the finite systems in this reproduction we
+therefore also provide an *exact* reachability oracle: breadth-first
+search over the (finite) state space, with inputs drawn from a
+representative sample set covering every guard region (the code generator
+emits guard-boundary samples; see ``repro.stateflow.codegen``).
+
+The engine answers the same question k-induction answers -- "is this
+counterexample state reachable?" -- with exact yes/no instead of
+yes/no/inconclusive.  DESIGN.md discusses why this substitution preserves
+the algorithm's behaviour; the SAT k-induction engine remains available
+for small ``k`` and for the k-sensitivity ablation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Mapping
+
+from ..expr.ast import Expr, eq, land, lor
+from ..system.transition_system import SymbolicSystem
+from ..system.valuation import Valuation
+
+
+class StateSpaceLimitExceeded(RuntimeError):
+    """Raised when BFS touches more states than the configured budget."""
+
+
+_SHARED: dict[int, "ExplicitReachability"] = {}
+
+
+def shared_reachability(system: SymbolicSystem) -> "ExplicitReachability":
+    """Process-wide cache of reachability engines, keyed by system object.
+
+    Active-learning runs, baselines and witness generation all need the
+    same BFS; benchmark systems live for the whole process (the library
+    caches them), so sharing the explored table avoids re-exploration.
+    """
+    key = id(system)
+    if key not in _SHARED:
+        _SHARED[key] = ExplicitReachability(system)
+    return _SHARED[key]
+
+
+class ExplicitReachability:
+    """Exact forward reachability over the state projection.
+
+    The state space is explored once and cached; queries then run on the
+    cached table.  Witness traces are reconstructed from BFS parents and
+    include the inputs that drove each step, so they are valid system
+    execution traces.
+    """
+
+    def __init__(self, system: SymbolicSystem, max_states: int = 500_000):
+        self._system = system
+        self._max_states = max_states
+        self._state_names = system.state_names
+        self._inputs = system.enumerate_inputs()
+        # state key -> (depth, parent key | None, inputs used | None)
+        self._table: dict[tuple[int, ...], tuple[int, tuple[int, ...] | None, Valuation | None]] = {}
+        self._explored = False
+
+    # ------------------------------------------------------------------
+    def _key(self, state: Mapping[str, int]) -> tuple[int, ...]:
+        return tuple(state[name] for name in self._state_names)
+
+    def explore(self) -> None:
+        """Run the BFS (idempotent)."""
+        if self._explored:
+            return
+        system = self._system
+        initial = system.init_state
+        init_key = self._key(initial)
+        self._table[init_key] = (0, None, None)
+        frontier: deque[tuple[tuple[int, ...], Valuation]] = deque(
+            [(init_key, initial)]
+        )
+        while frontier:
+            key, state = frontier.popleft()
+            depth = self._table[key][0]
+            for inputs in self._inputs:
+                next_state = system.step(state, inputs)
+                next_key = self._key(next_state)
+                if next_key in self._table:
+                    continue
+                if len(self._table) >= self._max_states:
+                    raise StateSpaceLimitExceeded(
+                        f"{system.name}: more than {self._max_states} states"
+                    )
+                self._table[next_key] = (depth + 1, key, inputs)
+                frontier.append((next_key, next_state))
+        self._explored = True
+
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        self.explore()
+        return len(self._table)
+
+    @property
+    def diameter(self) -> int:
+        """Maximum BFS depth over reachable states."""
+        self.explore()
+        return max(depth for depth, _p, _i in self._table.values())
+
+    def reachable_depth(self, state: Mapping[str, int]) -> int | None:
+        """BFS depth of the state projection, or None if unreachable.
+
+        ``state`` may be a full observation; only state variables are read.
+        Depth 0 is the pre-first-observation initial state.
+        """
+        self.explore()
+        entry = self._table.get(self._key(state))
+        return entry[0] if entry is not None else None
+
+    def is_state_reachable(self, state: Mapping[str, int]) -> bool:
+        return self.reachable_depth(state) is not None
+
+    def reachable_states(self) -> list[Valuation]:
+        self.explore()
+        return [
+            Valuation(dict(zip(self._state_names, key))) for key in self._table
+        ]
+
+    # ------------------------------------------------------------------
+    def witness(self, state: Mapping[str, int]) -> list[Valuation] | None:
+        """Observation sequence v_1..v_d reaching the given state part.
+
+        Returns None if unreachable; the empty list if the target is the
+        initial (depth-0) state.
+        """
+        self.explore()
+        key = self._key(state)
+        if key not in self._table:
+            return None
+        steps: list[tuple[tuple[int, ...], Valuation]] = []
+        cursor = key
+        while True:
+            depth, parent, inputs = self._table[cursor]
+            if parent is None:
+                break
+            steps.append((cursor, inputs))
+            cursor = parent
+        steps.reverse()
+        observations = []
+        for state_key, inputs in steps:
+            state_vals = dict(zip(self._state_names, state_key))
+            observations.append(self._system.observe(state_vals, inputs))
+        return observations
+
+    def find_observation(
+        self, predicate: Callable[[Valuation], bool]
+    ) -> list[Valuation] | None:
+        """Shortest observation sequence whose last element satisfies
+        ``predicate``, scanning reachable states in BFS order with every
+        representative input."""
+        self.explore()
+        ordered = sorted(self._table.items(), key=lambda kv: kv[1][0])
+        for key, (depth, _parent, _inputs) in ordered:
+            if depth == 0:
+                # Initial state: observations start after the first step.
+                continue
+            state_vals = dict(zip(self._state_names, key))
+            # Reconstruct the inputs that reached this state via witness().
+            trace = self.witness(state_vals)
+            assert trace is not None
+            if predicate(trace[-1]):
+                return trace
+        return None
+
+
+def reachable_formula(
+    system: SymbolicSystem,
+    reach: "ExplicitReachability | None" = None,
+    max_disjuncts: int = 400,
+) -> Expr:
+    """Characteristic formula of the reachable state set.
+
+    This is the "domain knowledge" the paper suggests for guiding the
+    model checker towards valid counterexamples (§IV-B.1): assuming it
+    in the Fig. 3a harness removes the unreachable-state churn entirely.
+    Small sets are encoded exactly as a DNF over the state variables;
+    larger ones fall back to a per-variable value-set over-approximation
+    (sound for guidance: it still contains every reachable state).
+    """
+    if reach is None:
+        reach = shared_reachability(system)
+    states = reach.reachable_states()
+    if len(states) <= max_disjuncts:
+        return lor(
+            *(
+                land(
+                    *(
+                        eq(var, state[var.name])
+                        for var in system.state_vars
+                    )
+                )
+                for state in states
+            )
+        )
+    observed: dict[str, set[int]] = {
+        var.name: set() for var in system.state_vars
+    }
+    for state in states:
+        for name in observed:
+            observed[name].add(state[name])
+    conjuncts = []
+    for var in system.state_vars:
+        values = sorted(observed[var.name])
+        conjuncts.append(lor(*(eq(var, value) for value in values)))
+    return land(*conjuncts)

@@ -1,0 +1,58 @@
+"""k-induction (paper §III-B/C, following Sheeran-Singh-Stålmarck).
+
+To prove an observation property ``safe`` invariant:
+
+* **base case** -- no observation violating ``safe`` is reachable within
+  ``k`` steps of an initial state (a BMC query);
+* **step case** -- along *any* path of ``k`` consecutive observations
+  satisfying ``safe`` (starting from an arbitrary, range-constrained
+  state), the next observation also satisfies ``safe``.
+
+If both hold, ``safe`` holds in every reachable observation.  A failing
+step case alone is inconclusive: the induction may simply be too weak for
+the chosen ``k``.  This weakness is precisely what the paper's §III-C
+handles by recording inconclusive counterexamples, and what makes a poor
+choice of ``k`` add spurious behaviours to the learned model (§IV-B).
+"""
+
+from __future__ import annotations
+
+from ..expr.ast import Expr, lnot
+from ..smt.solver import SmtSolver
+from ..system.transition_system import SymbolicSystem
+from .bmc import bmc, observation_at, unroll
+from .verdicts import BmcResult, InductionOutcome, KInductionResult
+
+
+def step_case_holds(system: SymbolicSystem, safe: Expr, k: int) -> bool:
+    """The inductive step of k-induction.
+
+    Query: frames 0..k+1 from an *arbitrary* frame-0 state, assuming
+    ``safe`` at observations 1..k and ``¬safe`` at observation k+1.
+    Unsatisfiable means the step case holds.
+    """
+    solver = SmtSolver()
+    unroll(system, solver, k + 1, assume_init=False)
+    for step in range(1, k + 1):
+        solver.add(observation_at(safe, system, step))
+    solver.add(observation_at(lnot(safe), system, k + 1))
+    return not solver.check()
+
+
+def k_induction(system: SymbolicSystem, safe: Expr, k: int) -> KInductionResult:
+    """Attempt to prove ``safe`` invariant with bound ``k``."""
+    if k < 1:
+        raise ValueError(f"k-induction needs k >= 1, got {k}")
+    base = bmc(system, lnot(safe), k)
+    if base.reachable:
+        return KInductionResult(InductionOutcome.BASE_VIOLATED, bmc=base)
+    if step_case_holds(system, safe, k):
+        return KInductionResult(InductionOutcome.PROVED)
+    return KInductionResult(InductionOutcome.STEP_VIOLATED)
+
+
+def prove_unreachable(
+    system: SymbolicSystem, bad: Expr, k: int
+) -> KInductionResult:
+    """Convenience wrapper: prove that ``bad`` never holds (Fig. 3b shape)."""
+    return k_induction(system, lnot(bad), k)

@@ -1,0 +1,102 @@
+"""Spurious-counterexample classification (paper §III-C, Fig. 3b).
+
+A condition-check counterexample ``(v_t, v_t+1)`` starts from an
+*arbitrary* state satisfying the assumption, so ``v_t`` may be
+unreachable.  The paper encodes ``s' := ⋀ (x_i = v_t(x_i))`` and proves
+``¬s'`` invariant by k-induction with ``k > 1``:
+
+* proof succeeds            → counterexample is **spurious**;
+* base case fails           → ``v_t`` is reachable, counterexample **valid**;
+* only the step case fails  → **inconclusive** (treated as valid, recorded).
+
+Two engines implement this interface:
+
+:class:`KInductionSpuriousness`
+    The literal Fig. 3b check on the SAT back-end.  Faithful including the
+    weak-induction inconclusive outcomes; practical for small ``k``.
+
+:class:`ExplicitSpuriousness`
+    Exact reachability of the state projection of ``v_t`` (inputs are
+    free, so an observation is reachable iff its state part is).  With
+    ``respect_k=True`` it reports what a k-bounded analysis would see:
+    reachable within ``k`` → valid, reachable only beyond ``k`` →
+    inconclusive, unreachable → spurious.  With ``respect_k=False`` it is
+    a strictly stronger oracle that never returns inconclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..expr.ast import Expr, eq, land
+from ..system.transition_system import SymbolicSystem
+from ..system.valuation import Valuation
+from .explicit import ExplicitReachability
+from .kinduction import k_induction
+from .verdicts import InductionOutcome, SpuriousVerdict
+
+
+def state_equality_formula(
+    system: SymbolicSystem, v_t: Valuation, state_only: bool = False
+) -> Expr:
+    """The paper's ``s' := ⋀ (x_i = v_t(x_i))`` over the observables.
+
+    With ``state_only=True`` only state variables are pinned.  This is
+    the "strengthen the assumption with domain knowledge" optimisation
+    the paper suggests for runtime (§IV-B): since inputs are free, pinning
+    them makes the checker enumerate astronomically many spurious
+    counterexamples differing only in input values.
+    """
+    variables = system.state_vars if state_only else system.variables
+    return land(*(eq(var, v_t[var.name]) for var in variables))
+
+
+class SpuriousnessChecker(Protocol):
+    """Classifies a counterexample's first observation ``v_t``."""
+
+    def classify(self, v_t: Valuation, k: int) -> SpuriousVerdict:
+        """Verdict for the counterexample (``k`` is the Fig. 3b bound)."""
+        ...
+
+
+class KInductionSpuriousness:
+    """Fig. 3b verbatim: k-induction proof that ``s'`` never holds."""
+
+    def __init__(self, system: SymbolicSystem, state_only: bool = True):
+        self._system = system
+        self._state_only = state_only
+
+    def classify(self, v_t: Valuation, k: int) -> SpuriousVerdict:
+        bad = state_equality_formula(self._system, v_t, self._state_only)
+        result = k_induction(self._system, ~bad, k)
+        if result.outcome is InductionOutcome.PROVED:
+            return SpuriousVerdict.SPURIOUS
+        if result.outcome is InductionOutcome.BASE_VIOLATED:
+            return SpuriousVerdict.VALID
+        return SpuriousVerdict.INCONCLUSIVE
+
+
+class ExplicitSpuriousness:
+    """Exact reachability oracle (see module docstring)."""
+
+    def __init__(
+        self,
+        system: SymbolicSystem,
+        respect_k: bool = True,
+        reach: ExplicitReachability | None = None,
+    ):
+        self._system = system
+        self._respect_k = respect_k
+        self._reach = reach or ExplicitReachability(system)
+
+    @property
+    def reachability(self) -> ExplicitReachability:
+        return self._reach
+
+    def classify(self, v_t: Valuation, k: int) -> SpuriousVerdict:
+        depth = self._reach.reachable_depth(v_t)
+        if depth is None:
+            return SpuriousVerdict.SPURIOUS
+        if self._respect_k and depth > k:
+            return SpuriousVerdict.INCONCLUSIVE
+        return SpuriousVerdict.VALID

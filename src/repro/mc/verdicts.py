@@ -1,0 +1,65 @@
+"""Verdict types shared by the model-checking engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..system.valuation import Valuation
+
+
+class SpuriousVerdict(Enum):
+    """Classification of a condition-check counterexample (paper §III-C).
+
+    * ``SPURIOUS`` -- proved unreachable (base and step case of the Fig. 3b
+      k-induction both hold); the condition check is re-run with a
+      strengthened assumption.
+    * ``VALID`` -- the base case is violated: the counterexample state is
+      reachable, so the counterexample exposes genuinely missing behaviour.
+    * ``INCONCLUSIVE`` -- only the step case fails; no conclusive evidence
+      either way.  The paper treats these as valid but records them.
+    """
+
+    SPURIOUS = "spurious"
+    VALID = "valid"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class ConditionCheckResult:
+    """Outcome of a Fig. 3a condition check."""
+
+    holds: bool
+    counterexample: tuple[Valuation, Valuation] | None = None
+    solver_checks: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.holds and self.counterexample is None:
+            raise ValueError("violated condition checks need a counterexample")
+
+
+@dataclass
+class BmcResult:
+    """Outcome of a bounded reachability query."""
+
+    reachable: bool
+    depth: int | None = None
+    trace: list[Valuation] = field(default_factory=list)
+
+
+class InductionOutcome(Enum):
+    """Outcome of a k-induction proof attempt."""
+
+    PROVED = "proved"               # base and step case hold
+    BASE_VIOLATED = "base-violated"  # bad state reachable within k steps
+    STEP_VIOLATED = "step-violated"  # induction too weak (or bad reachable)
+
+
+@dataclass
+class KInductionResult:
+    outcome: InductionOutcome
+    bmc: BmcResult | None = None
+
+    @property
+    def proved(self) -> bool:
+        return self.outcome is InductionOutcome.PROVED

@@ -1,0 +1,16 @@
+"""SAT substrate: CNF container, Tseitin gates, and a CDCL solver."""
+
+from .cnf import CNF, check_model, evaluate_clause
+from .solver import SolveResult, Solver, luby, solve_cnf
+from .tseitin import GateBuilder
+
+__all__ = [
+    "CNF",
+    "GateBuilder",
+    "SolveResult",
+    "Solver",
+    "check_model",
+    "evaluate_clause",
+    "luby",
+    "solve_cnf",
+]

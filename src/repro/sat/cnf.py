@@ -1,0 +1,91 @@
+"""CNF formula container with DIMACS-style literals.
+
+Variables are positive integers ``1..num_vars``; a literal is ``v`` or
+``-v``.  The container is shared by the Tseitin encoder, the bit-blaster
+and the CDCL solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, TextIO
+
+
+@dataclass
+class CNF:
+    """A growable CNF formula."""
+
+    num_vars: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its positive literal."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause; literals must reference allocated variables."""
+        clause = list(lits)
+        for lit in clause:
+            var = abs(lit)
+            if lit == 0 or var > self.num_vars:
+                raise ValueError(f"bad literal {lit} (num_vars={self.num_vars})")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend_from(self, other: "CNF", offset: int | None = None) -> int:
+        """Append ``other``'s clauses with variables shifted; returns offset."""
+        if offset is None:
+            offset = self.num_vars
+        self.num_vars = max(self.num_vars, offset + other.num_vars)
+        for clause in other.clauses:
+            self.clauses.append(
+                [lit + offset if lit > 0 else lit - offset for lit in clause]
+            )
+        return offset
+
+    def to_dimacs(self, out: TextIO) -> None:
+        """Write the formula in DIMACS cnf format."""
+        out.write(f"p cnf {self.num_vars} {len(self.clauses)}\n")
+        for clause in self.clauses:
+            out.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+    @classmethod
+    def from_dimacs(cls, src: TextIO) -> "CNF":
+        """Parse a DIMACS cnf file."""
+        cnf = cls()
+        declared_vars = 0
+        for line in src:
+            line = line.strip()
+            if not line or line.startswith(("c", "%")):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad DIMACS header: {line!r}")
+                declared_vars = int(parts[2])
+                cnf.num_vars = declared_vars
+                continue
+            lits = [int(tok) for tok in line.split()]
+            if lits and lits[-1] == 0:
+                lits = lits[:-1]
+            if lits:
+                cnf.num_vars = max(cnf.num_vars, max(abs(lit) for lit in lits))
+                cnf.clauses.append(lits)
+        return cnf
+
+
+def evaluate_clause(clause: list[int], assignment: dict[int, bool]) -> bool:
+    """True iff ``clause`` is satisfied under a total ``assignment``."""
+    return any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+
+
+def check_model(cnf: CNF, assignment: dict[int, bool]) -> bool:
+    """True iff ``assignment`` satisfies every clause (used in tests)."""
+    return all(evaluate_clause(clause, assignment) for clause in cnf.clauses)

@@ -1,0 +1,402 @@
+"""CDCL SAT solver.
+
+A compact but complete conflict-driven clause-learning solver:
+
+* two-watched-literal propagation,
+* first-UIP conflict analysis with basic clause minimisation,
+* VSIDS activity heuristics (lazy heap) with phase saving,
+* Luby-sequence restarts,
+* learned-clause garbage collection.
+
+This plays the role of the SAT core inside CBMC in the original tool
+chain.  It is deliberately dependency-free: the whole reproduction runs
+on a stock Python install.  Queries in this project are solved one-shot;
+"assumptions" are realised as unit clauses added before the search, which
+is equivalent for non-incremental use and keeps the search loop simple
+and auditable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .cnf import CNF
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+def luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed)."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solver run."""
+
+    satisfiable: bool
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def value(self, var: int) -> bool:
+        return self.model[var]
+
+    def lit_true(self, lit: int) -> bool:
+        return self.model[abs(lit)] == (lit > 0)
+
+
+class Solver:
+    """CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
+
+    def __init__(self, cnf: CNF | None = None) -> None:
+        self._num_vars = 0
+        self._watches: dict[int, list[list[int]]] = {}
+        self._assign: list[int] = [_UNASSIGNED]  # 1-indexed by variable
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._prop_head = 0
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._order: list[tuple[float, int]] = []  # lazy max-heap (neg act)
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._learned: list[list[int]] = []
+        self._max_learned = 4000
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self._num_vars += 1
+        var = self._num_vars
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._watches[var] = []
+        self._watches[-var] = []
+        heapq.heappush(self._order, (0.0, var))
+        return var
+
+    def ensure_vars(self, num_vars: int) -> None:
+        while self._num_vars < num_vars:
+            self.new_var()
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a problem clause; returns False if the formula became UNSAT."""
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise RuntimeError("add_clause only allowed at decision level 0")
+        clause: list[int] = []
+        seen: set[int] = set()
+        for lit in lits:
+            if abs(lit) > self._num_vars:
+                self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            value = self._lit_value(lit)
+            if value == _TRUE:
+                return True  # already satisfied at level 0
+            if value == _FALSE:
+                continue  # falsified at level 0; drop the literal
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None) or self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: list[int]) -> None:
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        value = self._lit_value(lit)
+        if value == _FALSE:
+            return False
+        if value == _TRUE:
+            return True
+        var = abs(lit)
+        self._assign[var] = _TRUE if lit > 0 else _FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._prop_head < len(self._trail):
+            lit = self._trail[self._prop_head]
+            self._prop_head += 1
+            self.propagations += 1
+            false_lit = -lit
+            watch_list = self._watches[false_lit]
+            kept: list[list[int]] = []
+            conflict: list[int] | None = None
+            for idx, clause in enumerate(watch_list):
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == _TRUE:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._lit_value(clause[j]) != _FALSE:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self._watches[clause[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+                    kept.extend(watch_list[idx + 1:])
+                    break
+            self._watches[false_lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis; returns (learned clause, backtrack level)."""
+        current_level = len(self._trail_lim)
+        learned: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        resolve_lit: int | None = None
+        reason: Sequence[int] = conflict
+        index = len(self._trail) - 1
+        while True:
+            for q in reason:
+                if resolve_lit is not None and q == resolve_lit:
+                    continue
+                var = abs(q)
+                if var in seen or self._level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump_var(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            resolve_lit = self._trail[index]
+            index -= 1
+            var = abs(resolve_lit)
+            seen.discard(var)
+            counter -= 1
+            if counter == 0:
+                learned.insert(0, -resolve_lit)
+                break
+            next_reason = self._reason[var]
+            assert next_reason is not None, "UIP literal must have a reason"
+            reason = next_reason
+        learned = self._minimize(learned)
+        if len(learned) == 1:
+            return learned, 0
+        # Second-highest level literal goes to slot 1 (watch invariant).
+        max_i = 1
+        for i in range(2, len(learned)):
+            if self._level[abs(learned[i])] > self._level[abs(learned[max_i])]:
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self._level[abs(learned[1])]
+
+    def _minimize(self, learned: list[int]) -> list[int]:
+        """Basic (local) clause minimisation: drop self-subsumed literals."""
+        in_clause = {abs(lit) for lit in learned}
+        keep = [learned[0]]
+        for q in learned[1:]:
+            reason = self._reason[abs(q)]
+            if reason is not None and all(
+                abs(other) in in_clause or self._level[abs(other)] == 0
+                for other in reason
+                if abs(other) != abs(q)
+            ):
+                continue
+            keep.append(q)
+        return keep
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            var = abs(lit)
+            self._phase[var] = self._assign[var] == _TRUE
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._order, (-self._activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._prop_head = min(self._prop_head, len(self._trail))
+
+    def _record_learned(self, clause: list[int]) -> None:
+        if len(clause) == 1:
+            self._enqueue(clause[0], None)
+            return
+        self._learned.append(clause)
+        self._watch(clause)
+        self._enqueue(clause[0], clause)
+
+    def _reduce_learned(self) -> None:
+        if len(self._learned) < self._max_learned:
+            return
+        locked = {
+            id(self._reason[v])
+            for v in range(1, self._num_vars + 1)
+            if self._reason[v] is not None
+        }
+        # Prefer keeping short clauses; drop the longer half.
+        self._learned.sort(key=len)
+        half = len(self._learned) // 2
+        dropped = {
+            id(c)
+            for c in self._learned[half:]
+            if id(c) not in locked and len(c) > 2
+        }
+        if not dropped:
+            return
+        self._learned = [c for c in self._learned if id(c) not in dropped]
+        for lit in self._watches:
+            self._watches[lit] = [
+                c for c in self._watches[lit] if id(c) not in dropped
+            ]
+        self._max_learned = int(self._max_learned * 1.3)
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> int:
+        while self._order:
+            _act, var = heapq.heappop(self._order)
+            if self._assign[var] == _UNASSIGNED:
+                return var
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED:
+                return var
+        return 0
+
+    # ------------------------------------------------------------------
+    # main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SolveResult:
+        """Solve the formula; ``assumptions`` become level-0 units."""
+        for lit in assumptions:
+            if not self.add_clause([lit]):
+                break
+        if not self._ok:
+            return SolveResult(False, conflicts=self.conflicts)
+        if self._propagate() is not None:
+            self._ok = False
+            return SolveResult(False, conflicts=self.conflicts)
+        restart_count = 0
+        conflicts_since_restart = 0
+        restart_budget = 64 * luby(1)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return self._result(False)
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self._record_learned(learned)
+                self._var_inc *= self._var_decay
+                continue
+            if conflicts_since_restart >= restart_budget and self._trail_lim:
+                restart_count += 1
+                conflicts_since_restart = 0
+                restart_budget = 64 * luby(restart_count + 1)
+                self._backtrack(0)
+                self._reduce_learned()
+                continue
+            var = self._pick_branch_var()
+            if var == 0:
+                return self._result(True)
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            lit = var if self._phase[var] else -var
+            self._enqueue(lit, None)
+
+    def _result(self, satisfiable: bool) -> SolveResult:
+        model = {}
+        if satisfiable:
+            model = {
+                v: self._assign[v] == _TRUE for v in range(1, self._num_vars + 1)
+            }
+        return SolveResult(
+            satisfiable,
+            model=model,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+        )
+
+
+def solve_cnf(cnf: CNF, assumptions: Sequence[int] = ()) -> SolveResult:
+    """One-shot convenience wrapper: solve ``cnf`` under ``assumptions``."""
+    return Solver(cnf).solve(assumptions)

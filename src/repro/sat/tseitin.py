@@ -1,0 +1,174 @@
+"""Tseitin encoding of Boolean circuits into CNF.
+
+The bit-blaster builds circuits gate by gate; every helper returns the
+literal of a fresh variable constrained to equal the gate's output.
+Constant literals are threaded through :data:`TRUE_LIT` handling in
+:class:`GateBuilder` so trivial gates collapse without new variables.
+"""
+
+from __future__ import annotations
+
+from .cnf import CNF
+
+
+class GateBuilder:
+    """Builds a circuit over a CNF, with constant folding on literals."""
+
+    def __init__(self, cnf: CNF) -> None:
+        self.cnf = cnf
+        self._true_lit: int | None = None
+        self._and_cache: dict[tuple[int, ...], int] = {}
+        self._or_cache: dict[tuple[int, ...], int] = {}
+        self._xor_cache: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def true_lit(self) -> int:
+        """A literal fixed to true (allocated lazily)."""
+        if self._true_lit is None:
+            self._true_lit = self.cnf.new_var()
+            self.cnf.add_clause([self._true_lit])
+        return self._true_lit
+
+    @property
+    def false_lit(self) -> int:
+        return -self.true_lit
+
+    def is_const(self, lit: int) -> bool | None:
+        """Return the constant value of ``lit`` if it is the true/false lit."""
+        if self._true_lit is None:
+            return None
+        if lit == self._true_lit:
+            return True
+        if lit == -self._true_lit:
+            return False
+        return None
+
+    def const(self, value: bool) -> int:
+        return self.true_lit if value else self.false_lit
+
+    # ------------------------------------------------------------------
+    def and_gate(self, *lits: int) -> int:
+        """Output literal of AND(lits)."""
+        ins: list[int] = []
+        for lit in lits:
+            const = self.is_const(lit)
+            if const is False:
+                return self.false_lit
+            if const is True:
+                continue
+            if -lit in ins:
+                return self.false_lit
+            if lit not in ins:
+                ins.append(lit)
+        if not ins:
+            return self.true_lit
+        if len(ins) == 1:
+            return ins[0]
+        key = tuple(sorted(ins))
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.cnf.new_var()
+        for lit in ins:
+            self.cnf.add_clause([-out, lit])
+        self.cnf.add_clause([out] + [-lit for lit in ins])
+        self._and_cache[key] = out
+        return out
+
+    def or_gate(self, *lits: int) -> int:
+        """Output literal of OR(lits)."""
+        ins: list[int] = []
+        for lit in lits:
+            const = self.is_const(lit)
+            if const is True:
+                return self.true_lit
+            if const is False:
+                continue
+            if -lit in ins:
+                return self.true_lit
+            if lit not in ins:
+                ins.append(lit)
+        if not ins:
+            return self.false_lit
+        if len(ins) == 1:
+            return ins[0]
+        key = tuple(sorted(ins))
+        cached = self._or_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.cnf.new_var()
+        for lit in ins:
+            self.cnf.add_clause([-lit, out])
+        self.cnf.add_clause([-out] + list(ins))
+        self._or_cache[key] = out
+        return out
+
+    def not_gate(self, lit: int) -> int:
+        return -lit
+
+    def xor_gate(self, a: int, b: int) -> int:
+        """Output literal of XOR(a, b)."""
+        const_a, const_b = self.is_const(a), self.is_const(b)
+        if const_a is not None:
+            return -b if const_a else b
+        if const_b is not None:
+            return -a if const_b else a
+        if a == b:
+            return self.false_lit
+        if a == -b:
+            return self.true_lit
+        key = (min(a, b), max(a, b))
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.cnf.new_var()
+        self.cnf.add_clause([-out, a, b])
+        self.cnf.add_clause([-out, -a, -b])
+        self.cnf.add_clause([out, -a, b])
+        self.cnf.add_clause([out, a, -b])
+        self._xor_cache[key] = out
+        return out
+
+    def xnor_gate(self, a: int, b: int) -> int:
+        return -self.xor_gate(a, b)
+
+    def ite_gate(self, cond: int, then: int, other: int) -> int:
+        """Output literal of (cond ? then : other)."""
+        const_c = self.is_const(cond)
+        if const_c is True:
+            return then
+        if const_c is False:
+            return other
+        if then == other:
+            return then
+        return self.or_gate(
+            self.and_gate(cond, then), self.and_gate(-cond, other)
+        )
+
+    def implies_gate(self, a: int, b: int) -> int:
+        return self.or_gate(-a, b)
+
+    def full_adder(self, a: int, b: int, carry_in: int) -> tuple[int, int]:
+        """Returns (sum, carry_out)."""
+        axb = self.xor_gate(a, b)
+        total = self.xor_gate(axb, carry_in)
+        carry = self.or_gate(
+            self.and_gate(a, b), self.and_gate(axb, carry_in)
+        )
+        return total, carry
+
+    def assert_true(self, lit: int) -> None:
+        const = self.is_const(lit)
+        if const is True:
+            return
+        if const is False:
+            # Assert an immediate contradiction.
+            fresh = self.cnf.new_var()
+            self.cnf.add_clause([fresh])
+            self.cnf.add_clause([-fresh])
+            return
+        self.cnf.add_clause([lit])
+
+    def assert_false(self, lit: int) -> None:
+        self.assert_true(-lit)

@@ -1,0 +1,23 @@
+"""Bit-blasting SMT layer: expressions -> CNF -> CDCL solver."""
+
+from .bitvec import BitVec, decode_bits, width_for_range
+from .encoder import Encoder
+from .solver import (
+    SmtSolver,
+    get_model,
+    implies_semantically,
+    is_satisfiable,
+    is_valid,
+)
+
+__all__ = [
+    "BitVec",
+    "Encoder",
+    "SmtSolver",
+    "decode_bits",
+    "get_model",
+    "implies_semantically",
+    "is_satisfiable",
+    "is_valid",
+    "width_for_range",
+]

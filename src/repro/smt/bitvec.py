@@ -1,0 +1,160 @@
+"""Bit-vector helpers for the bit-blaster.
+
+A :class:`BitVec` is a list of CNF literals, least-significant bit first,
+interpreted in two's complement.  Widths are chosen by interval analysis
+(:func:`width_for_range`) so that every operation is given enough result
+bits to be *exact* -- modular arithmetic at the chosen width coincides
+with unbounded integer arithmetic, which is what the expression IR means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sat.tseitin import GateBuilder
+
+
+def width_for_range(lo: int, hi: int) -> int:
+    """Smallest two's complement width representing every value in [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    width = 1
+    while not (-(1 << (width - 1)) <= lo and hi <= (1 << (width - 1)) - 1):
+        width += 1
+    return width
+
+
+@dataclass
+class BitVec:
+    """Two's complement bit-vector of CNF literals (LSB first)."""
+
+    bits: list[int]
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    @property
+    def sign_bit(self) -> int:
+        return self.bits[-1]
+
+
+def const_bitvec(value: int, width: int, gates: GateBuilder) -> BitVec:
+    """Encode a constant as width-bit two's complement."""
+    if not (-(1 << (width - 1)) <= value <= (1 << (width - 1)) - 1):
+        raise ValueError(f"constant {value} does not fit in {width} bits")
+    masked = value & ((1 << width) - 1)
+    bits = [
+        gates.const(bool((masked >> i) & 1)) for i in range(width)
+    ]
+    return BitVec(bits)
+
+
+def sign_extend(vec: BitVec, width: int) -> BitVec:
+    """Sign-extend (never truncate) to ``width`` bits."""
+    if width < vec.width:
+        raise ValueError(f"cannot truncate {vec.width}-bit vector to {width}")
+    return BitVec(vec.bits + [vec.sign_bit] * (width - vec.width))
+
+
+def fit(vec: BitVec, width: int) -> BitVec:
+    """Sign-extend or truncate to ``width`` bits.
+
+    Truncation of two's complement preserves the value whenever the value
+    fits in the target width; interval analysis guarantees exactly that
+    for every use in the encoder, so this is value-preserving.
+    """
+    if width >= vec.width:
+        return sign_extend(vec, width)
+    return BitVec(vec.bits[:width])
+
+
+def decode_bits(values: list[bool]) -> int:
+    """Decode two's complement bit values (LSB first) to a Python int."""
+    total = sum(1 << i for i, bit in enumerate(values[:-1]) if bit)
+    if values[-1]:
+        total -= 1 << (len(values) - 1)
+    return total
+
+
+def add_bitvec(a: BitVec, b: BitVec, width: int, gates: GateBuilder) -> BitVec:
+    """Ripple-carry addition; exact because the result fits ``width`` bits."""
+    work = max(width, a.width, b.width)
+    av, bv = sign_extend(a, work), sign_extend(b, work)
+    out: list[int] = []
+    carry = gates.false_lit
+    for i in range(work):
+        total, carry = gates.full_adder(av.bits[i], bv.bits[i], carry)
+        out.append(total)
+    return fit(BitVec(out), width)
+
+
+def negate_bitvec(vec: BitVec, width: int, gates: GateBuilder) -> BitVec:
+    """Two's complement negation."""
+    work = max(width, vec.width + 1)  # -(-2^(w-1)) needs one extra bit
+    extended = sign_extend(vec, work)
+    inverted = BitVec([gates.not_gate(bit) for bit in extended.bits])
+    one = const_bitvec(1, work, gates)
+    return fit(add_bitvec(inverted, one, work, gates), width)
+
+
+def sub_bitvec(a: BitVec, b: BitVec, width: int, gates: GateBuilder) -> BitVec:
+    return add_bitvec(a, negate_bitvec(b, width, gates), width, gates)
+
+
+def mul_bitvec(a: BitVec, b: BitVec, width: int, gates: GateBuilder) -> BitVec:
+    """Shift-and-add multiplication; exact at the interval-derived width."""
+    work = max(width, a.width + b.width)
+    av, bv = sign_extend(a, work), sign_extend(b, work)
+    accum = const_bitvec(0, work, gates)
+    for i in range(work):
+        # Partial product: (a << i) gated by b_i, truncated to work width.
+        shifted = [gates.false_lit] * i + av.bits[: work - i]
+        gated = BitVec([gates.and_gate(bit, bv.bits[i]) for bit in shifted])
+        accum = add_bitvec(accum, BitVec(gated.bits), work, gates)
+    return fit(accum, width)
+
+
+def eq_bitvec(a: BitVec, b: BitVec, gates: GateBuilder) -> int:
+    width = max(a.width, b.width)
+    av, bv = sign_extend(a, width), sign_extend(b, width)
+    return gates.and_gate(
+        *(gates.xnor_gate(av.bits[i], bv.bits[i]) for i in range(width))
+    )
+
+
+def unsigned_less(a: BitVec, b: BitVec, gates: GateBuilder) -> int:
+    """a < b for equal-width vectors read as unsigned."""
+    assert a.width == b.width
+    result = gates.false_lit
+    for i in range(a.width):  # LSB to MSB; MSB decided last dominates
+        bit_lt = gates.and_gate(gates.not_gate(a.bits[i]), b.bits[i])
+        bit_eq = gates.xnor_gate(a.bits[i], b.bits[i])
+        result = gates.or_gate(bit_lt, gates.and_gate(bit_eq, result))
+    return result
+
+
+def signed_less(a: BitVec, b: BitVec, gates: GateBuilder) -> int:
+    """a < b in two's complement."""
+    width = max(a.width, b.width)
+    av, bv = sign_extend(a, width), sign_extend(b, width)
+    sign_a, sign_b = av.sign_bit, bv.sign_bit
+    a_neg_b_pos = gates.and_gate(sign_a, gates.not_gate(sign_b))
+    same_sign = gates.xnor_gate(sign_a, sign_b)
+    mag_less = unsigned_less(
+        BitVec(av.bits[:-1] or [gates.false_lit]),
+        BitVec(bv.bits[:-1] or [gates.false_lit]),
+        gates,
+    )
+    return gates.or_gate(a_neg_b_pos, gates.and_gate(same_sign, mag_less))
+
+
+def signed_leq(a: BitVec, b: BitVec, gates: GateBuilder) -> int:
+    return gates.or_gate(signed_less(a, b, gates), eq_bitvec(a, b, gates))
+
+
+def ite_bitvec(cond: int, then: BitVec, other: BitVec, width: int, gates: GateBuilder) -> BitVec:
+    tv, ov = fit(then, width), fit(other, width)
+    return BitVec(
+        [gates.ite_gate(cond, tv.bits[i], ov.bits[i]) for i in range(width)]
+    )

@@ -1,0 +1,83 @@
+"""SMT-style solver facade over the bit-blaster and the CDCL solver.
+
+The model checker formulates queries as conjunctions of expression-level
+assertions; :class:`SmtSolver` bit-blasts them into one CNF and solves.
+Satisfying assignments decode back into valuations of the original
+variables, which become counterexample observations.
+"""
+
+from __future__ import annotations
+
+from ..expr.ast import Expr, Var
+from ..sat.solver import Solver
+from .encoder import Encoder
+
+
+class SmtSolver:
+    """Assert expressions, check satisfiability, extract models."""
+
+    def __init__(self) -> None:
+        self._encoder = Encoder()
+        self._asserted: list[Expr] = []
+        self._last_model: dict[str, int] | None = None
+        self.stats = {"checks": 0, "conflicts": 0, "decisions": 0}
+
+    def declare(self, var: Var) -> None:
+        """Pre-declare a variable (useful so models mention all of X)."""
+        self._encoder.declare(var)
+
+    def add(self, expr: Expr) -> None:
+        """Assert ``expr`` (Boolean) as a constraint."""
+        self._asserted.append(expr)
+        self._encoder.assert_expr(expr)
+
+    def check(self) -> bool:
+        """True iff the asserted constraints are satisfiable."""
+        self.stats["checks"] += 1
+        solver = Solver(self._encoder.cnf)
+        result = solver.solve()
+        self.stats["conflicts"] += result.conflicts
+        self.stats["decisions"] += result.decisions
+        if result.satisfiable:
+            self._last_model = self._encoder.decode_model(result.model)
+        else:
+            self._last_model = None
+        return result.satisfiable
+
+    def model(self) -> dict[str, int]:
+        """Valuation (by qualified name) from the last sat check."""
+        if self._last_model is None:
+            raise RuntimeError("no model available (last check was unsat?)")
+        return dict(self._last_model)
+
+
+def is_satisfiable(*exprs: Expr) -> bool:
+    """One-shot satisfiability of a conjunction of expressions."""
+    solver = SmtSolver()
+    for expr in exprs:
+        solver.add(expr)
+    return solver.check()
+
+
+def get_model(*exprs: Expr) -> dict[str, int] | None:
+    """One-shot model of a conjunction, or None if unsat."""
+    solver = SmtSolver()
+    for expr in exprs:
+        solver.add(expr)
+    if solver.check():
+        return solver.model()
+    return None
+
+
+def is_valid(expr: Expr) -> bool:
+    """Validity of a Boolean expression (no free-var constraints beyond sorts)."""
+    from ..expr.ast import lnot
+
+    return not is_satisfiable(lnot(expr))
+
+
+def implies_semantically(lhs: Expr, rhs: Expr) -> bool:
+    """True iff ``lhs -> rhs`` is valid over the variable sorts."""
+    from ..expr.ast import land, lnot
+
+    return not is_satisfiable(land(lhs, lnot(rhs)))

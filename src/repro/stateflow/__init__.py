@@ -1,0 +1,23 @@
+"""Stateflow substrate: chart DSL, code generator, ground truth, benchmarks."""
+
+from .benchmark import Benchmark, FsaSpec, make_benchmark
+from .coverage import ChartCoverage, MachineCoverage, measure_chart_coverage
+from .chart import Chart, CodegenInfo, CompiledTransition, Machine, SfTransition
+from .flatten import GroundTruth, flatten_product, ground_truth_witnesses
+
+__all__ = [
+    "Benchmark",
+    "ChartCoverage",
+    "Chart",
+    "CodegenInfo",
+    "CompiledTransition",
+    "FsaSpec",
+    "GroundTruth",
+    "MachineCoverage",
+    "Machine",
+    "SfTransition",
+    "flatten_product",
+    "ground_truth_witnesses",
+    "measure_chart_coverage",
+    "make_benchmark",
+]

@@ -1,0 +1,92 @@
+"""Benchmark records: one per Table I benchmark.
+
+A benchmark bundles the chart, its compiled system, the paper's ``k``
+parameter, and one :class:`FsaSpec` per Table I row (a chart can contain
+several FSAs; the paper learns an abstraction per FSA over traces of all
+observables, which for the mode-based learner means selecting that FSA's
+state variables as the mode variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..system.transition_system import SymbolicSystem
+from .chart import Chart, CodegenInfo
+from .flatten import GroundTruth, ground_truth_witnesses
+
+
+@dataclass(frozen=True)
+class FsaSpec:
+    """One Table I row: an FSA to reverse-engineer from the benchmark.
+
+    ``machines`` are the chart machines whose transitions form the ground
+    truth; ``mode_vars`` are the observables whose valuations the learner
+    should treat as automaton states (defaults to the machines' state
+    variables).
+    """
+
+    name: str
+    machines: tuple[str, ...]
+    mode_vars: tuple[str, ...] = ()
+
+    def resolved_mode_vars(self) -> tuple[str, ...]:
+        return self.mode_vars or self.machines
+
+
+@dataclass
+class Benchmark:
+    """A Table I benchmark: chart + compiled system + evaluation spec."""
+
+    name: str
+    chart: Chart
+    system: SymbolicSystem
+    info: CodegenInfo
+    k: int
+    fsas: tuple[FsaSpec, ...]
+    paper_num_observables: int | None = None
+    notes: str = ""
+    _ground_truth: dict[str, GroundTruth] = field(default_factory=dict)
+
+    @property
+    def num_observables(self) -> int:
+        return len(self.system.variables)
+
+    def fsa(self, name: str) -> FsaSpec:
+        for spec in self.fsas:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"{self.name} has no FSA {name!r}")
+
+    def ground_truth(self, spec: FsaSpec) -> list[GroundTruth]:
+        """Witnessed ground-truth transitions for one FSA (cached)."""
+        missing = [m for m in spec.machines if m not in self._ground_truth]
+        if missing:
+            self._ground_truth.update(
+                ground_truth_witnesses(
+                    self.system, self.info, self.chart, machines=missing
+                )
+            )
+        return [self._ground_truth[m] for m in spec.machines]
+
+
+def make_benchmark(
+    chart: Chart,
+    k: int,
+    fsas: list[FsaSpec],
+    paper_num_observables: int | None = None,
+    notes: str = "",
+) -> Benchmark:
+    """Compile a chart and bundle it into a benchmark record."""
+    system, info = chart.build()
+    return Benchmark(
+        name=chart.name,
+        chart=chart,
+        system=system,
+        info=info,
+        k=k,
+        fsas=tuple(fsas),
+        paper_num_observables=paper_num_observables,
+        notes=notes,
+    )

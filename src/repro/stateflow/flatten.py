@@ -1,0 +1,143 @@
+"""Ground-truth extraction: flattened FSAs and transition witnesses.
+
+For the paper's quality score ``d`` we need, per benchmark FSA, the set
+of chart transitions and -- for the behavioural matching described in
+:mod:`repro.automata.compare` -- a *witness* execution trace per
+transition: a concrete run that ends by exercising exactly that
+transition.
+
+Witnesses are found by breadth-first exploration of the compiled system
+using its representative inputs; the compiled firing conditions
+(:class:`~repro.stateflow.chart.CodegenInfo`) identify which chart
+transition a concrete step exercised.  Transitions with no witness
+within the explored space are dead in the implementation (or unreachable
+with the sampled inputs) and are reported separately rather than
+silently dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..automata.compare import TransitionWitness
+from ..system.transition_system import SymbolicSystem
+from ..system.valuation import Valuation
+from ..traces.trace import Trace
+from .chart import Chart, CodegenInfo, Machine
+
+
+@dataclass
+class GroundTruth:
+    """Witnessed chart transitions for one FSA (one Table I row)."""
+
+    machine: str
+    witnesses: list[TransitionWitness] = field(default_factory=list)
+    unwitnessed: list[str] = field(default_factory=list)  # transition labels
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.witnesses) + len(self.unwitnessed)
+
+
+def ground_truth_witnesses(
+    system: SymbolicSystem,
+    info: CodegenInfo,
+    chart: Chart,
+    machines: list[str] | None = None,
+    max_states: int = 200_000,
+) -> dict[str, GroundTruth]:
+    """Witnesses for every transition of the requested machines."""
+    wanted = machines or [m.name for m in chart.machines]
+    targets: dict[str, Machine] = {
+        name: chart.machine_by_name(name) for name in wanted
+    }
+    pending: dict[tuple[str, int], None] = {}
+    for name, machine in targets.items():
+        for index in range(len(machine.transitions)):
+            pending[(name, index)] = None
+    found: dict[tuple[str, int], Trace] = {}
+
+    state_names = system.state_names
+    inputs = system.enumerate_inputs()
+    initial = system.init_state
+    # BFS with parent pointers for witness reconstruction.
+    table: dict[tuple[int, ...], tuple[tuple[int, ...] | None, Valuation | None]] = {
+        initial.key(state_names): (None, None)
+    }
+    frontier: deque[Valuation] = deque([initial])
+
+    def path_to(state_key: tuple[int, ...]) -> list[Valuation]:
+        steps: list[tuple[tuple[int, ...], Valuation]] = []
+        cursor = state_key
+        while True:
+            parent, used_inputs = table[cursor]
+            if parent is None:
+                break
+            steps.append((cursor, used_inputs))
+            cursor = parent
+        steps.reverse()
+        return [
+            system.observe(dict(zip(state_names, key)), used)
+            for key, used in steps
+        ]
+
+    while frontier and len(found) < len(pending):
+        state = frontier.popleft()
+        state_key = state.key(state_names)
+        prefix: list[Valuation] | None = None
+        for input_valuation in inputs:
+            primed = {f"{k}'": v for k, v in input_valuation.items()}
+            for name in targets:
+                fired = info.fired(name, state.as_dict(), primed)
+                if fired is None:
+                    continue
+                key = (name, fired.index)
+                if key in pending and key not in found:
+                    if prefix is None:
+                        prefix = path_to(state_key)
+                    next_state = system.step(state, input_valuation)
+                    observation = system.observe(next_state, input_valuation)
+                    found[key] = Trace(prefix + [observation])
+            next_state = system.step(state, input_valuation)
+            next_key = next_state.key(state_names)
+            if next_key not in table:
+                if len(table) >= max_states:
+                    raise RuntimeError(
+                        f"{system.name}: witness search exceeded "
+                        f"{max_states} states"
+                    )
+                table[next_key] = (state_key, input_valuation)
+                frontier.append(next_state)
+
+    result: dict[str, GroundTruth] = {}
+    for name, machine in targets.items():
+        truth = GroundTruth(machine=name)
+        for index, transition in enumerate(machine.transitions):
+            witness = found.get((name, index))
+            if witness is None:
+                truth.unwitnessed.append(transition.label)
+            else:
+                truth.witnesses.append(
+                    TransitionWitness(
+                        src=transition.src,
+                        dst=transition.dst,
+                        label=f"{name}:{transition.label}",
+                        witness=witness,
+                    )
+                )
+        result[name] = truth
+    return result
+
+
+def flatten_product(chart: Chart, machines: list[str]) -> list[str]:
+    """Names of the product states of several machines (for reports)."""
+    names = [""]
+    for machine_name in machines:
+        machine = chart.machine_by_name(machine_name)
+        names = [
+            f"{prefix}|{state}" if prefix else state
+            for prefix in names
+            for state in machine.states
+        ]
+    return names

@@ -1,0 +1,125 @@
+"""The benchmark library: the 28 Table I charts.
+
+Benchmarks are registered by name; :func:`get_benchmark` compiles (and
+caches) one, :func:`benchmark_names` lists them in Table I order.
+Each module documents how its chart was reconstructed from the
+identically named MathWorks Stateflow example.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from ..benchmark import Benchmark
+
+_REGISTRY: dict[str, Callable[[], Benchmark]] = {}
+
+
+def register(name: str, factory: Callable[[], Benchmark]) -> None:
+    if name in _REGISTRY:
+        raise ValueError(f"benchmark {name!r} registered twice")
+    _REGISTRY[name] = factory
+
+
+def benchmark_names() -> list[str]:
+    """All benchmark names, in Table I order."""
+    return list(_REGISTRY)
+
+
+@lru_cache(maxsize=None)
+def get_benchmark(name: str) -> Benchmark:
+    """Compile and cache the named benchmark."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    benchmark = factory()
+    if benchmark.name != name:
+        raise RuntimeError(
+            f"benchmark registered as {name!r} built chart {benchmark.name!r}"
+        )
+    return benchmark
+
+
+def all_benchmarks() -> list[Benchmark]:
+    return [get_benchmark(name) for name in benchmark_names()]
+
+
+def _populate() -> None:
+    """Register every benchmark module (Table I order)."""
+    from . import (
+        cdplayer,
+        climate,
+        control,
+        safety,
+        signalproc,
+        timing,
+        traffic,
+        vending,
+    )
+
+    register(
+        "AutomaticTransmissionUsingDurationOperator", timing.transmission
+    )
+    register("BangBangControlUsingTemporalLogic", control.bangbang)
+    register("CountEvents", vending.count_events)
+    register("FrameSyncController", signalproc.frame_sync)
+    register("HomeClimateControlUsingTheTruthtableBlock", climate.build)
+    register("KarplusStrongAlgorithmUsingStateflow", signalproc.karplus_strong)
+    register("LadderLogicScheduler", signalproc.ladder_logic)
+    register("MealyVendingMachine", vending.vending_machine)
+    register(
+        "ModelingACdPlayerradioUsingEnumeratedDataType", cdplayer.cd_player
+    )
+    register(
+        "ModelingACdPlayerradioUsingEnumeratedDataType2", cdplayer.cd_player2
+    )
+    register("ModelingALaunchAbortSystem", safety.launch_abort)
+    register(
+        "ModelingAnIntersectionOfTwo1wayStreetsUsingStateflow",
+        traffic.intersection,
+    )
+    register(
+        "ModelingARedundantSensorPairUsingAtomicSubchart",
+        safety.redundant_sensors,
+    )
+    register("ModelingASecuritySystem", safety.security_system)
+    register("MonitorTestPointsInStateflowChart", vending.monitor_test_points)
+    register("MooreTrafficLight", traffic.moore_traffic_light)
+    register("ReuseStatesByUsingAtomicSubcharts", control.reuse_states)
+    register(
+        "SchedulingSimulinkAlgorithmsUsingStateflow", timing.simulink_scheduler
+    )
+    register(
+        "SequenceRecognitionUsingMealyAndMooreChart",
+        signalproc.sequence_recognition,
+    )
+    register("ServerQueueingSystem", signalproc.server_queue)
+    register("StatesWhenEnabling", control.states_when_enabling)
+    register(
+        "StateTransitionMatrixViewForStateTransitionTable",
+        control.transition_table,
+    )
+    register("Superstep", timing.superstep)
+    register("TemporalLogicScheduler", timing.temporal_scheduler)
+    register(
+        "UsingSimulinkFunctionsToDesignSwitchingControllers",
+        control.switching_controllers,
+    )
+    register("VarSize", signalproc.var_size)
+    register(
+        "ViewDifferencesBetweenMessagesEventsAndData", vending.messages_events
+    )
+    register("YoYoControlOfSatellite", safety.yoyo_control)
+
+
+_populate()
+
+__all__ = [
+    "all_benchmarks",
+    "benchmark_names",
+    "get_benchmark",
+    "register",
+]

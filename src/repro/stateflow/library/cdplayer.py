@@ -1,0 +1,164 @@
+"""ModelingACdPlayerradioUsingEnumeratedDataType (two implementations).
+
+The largest Table I benchmark (|X| = 13, k = 205).  A CD player/radio:
+
+* ``PowerMode``   -- standby/on (the paper's ModeManager "Overall", N=2);
+* ``ModeManager`` -- standby/FM/AM/CD source selection (N=4);
+* ``Loader``      -- the disc-handling FSA inside the On state
+  (the paper's "InOn", N=5), with an insertion timer;
+* ``Playback``    -- the disc-present FSA (the paper's
+  "BehaviourModel DiscPresent", N=4).
+
+The dataset contains a second implementation of the same model with
+similar results (the paper's footnote 2); :func:`cd_player2` rebuilds it
+with a different loader timing and an extra playback mode, completing
+the 28-benchmark set.
+"""
+
+from __future__ import annotations
+
+from ...expr.ast import land, lor
+from ...expr.types import BOOL, EnumSort, IntSort
+from ..benchmark import Benchmark, FsaSpec, make_benchmark
+from ..chart import Chart
+
+SRC = EnumSort("Src", ("fm", "am", "cd"))
+
+
+def _cd_chart(name: str, insert_ticks: int, extra_playback: bool) -> Chart:
+    chart = Chart(name)
+    power = chart.add_input("power", BOOL)
+    src = chart.add_input("src", SRC)
+    insert = chart.add_input("insert", BOOL)
+    eject = chart.add_input("eject", BOOL)
+    play = chart.add_input("play", BOOL)
+    stop = chart.add_input("stop", BOOL)
+    disc = chart.add_data("disc", BOOL, init=0)
+    track = chart.add_data("track", IntSort(0, 1), init=0)
+
+    power_mode = chart.machine("PowerMode", ["Standby", "On"], initial="Standby")
+    power_mode.transition("Standby", "On", guard=power, label="wake")
+    power_mode.transition("On", "Standby", guard=~power, label="sleep")
+
+    is_on = power_mode.in_state("On")
+    manager = chart.machine(
+        "ModeManager", ["Standby", "FM", "AM", "CD"], initial="Standby"
+    )
+    manager.transition("Standby", "FM", guard=land(is_on, src.eq("fm")), label="fm")
+    manager.transition("Standby", "AM", guard=land(is_on, src.eq("am")), label="am")
+    manager.transition(
+        "Standby", "CD", guard=land(is_on, src.eq("cd"), disc), label="cd"
+    )
+    manager.transition("FM", "AM", guard=land(is_on, src.eq("am")), label="f2a")
+    manager.transition(
+        "FM", "CD", guard=land(is_on, src.eq("cd"), disc), label="f2c"
+    )
+    manager.transition("AM", "FM", guard=land(is_on, src.eq("fm")), label="a2f")
+    manager.transition(
+        "AM", "CD", guard=land(is_on, src.eq("cd"), disc), label="a2c"
+    )
+    manager.transition("CD", "FM", guard=land(is_on, src.eq("fm")), label="c2f")
+    manager.transition("CD", "Standby", guard=~is_on, label="c2s")
+    manager.transition("FM", "Standby", guard=~is_on, label="f2s")
+    manager.transition("AM", "Standby", guard=~is_on, label="a2s")
+
+    loader = chart.machine(
+        "Loader", ["Empty", "Inserting", "Present", "Ejecting", "Stuck"],
+        initial="Empty", max_dwell=max(insert_ticks, 2),
+    )
+    loader.transition(
+        "Empty", "Inserting", guard=land(is_on, insert), label="slot"
+    )
+    loader.transition(
+        "Inserting", "Present", guard=loader.after(insert_ticks),
+        actions={disc: True}, label="seated",
+    )
+    loader.transition(
+        "Present", "Ejecting", guard=eject, actions={disc: False}, label="eject"
+    )
+    loader.transition(
+        "Ejecting", "Empty", guard=loader.after(2), label="out"
+    )
+    loader.transition(
+        "Inserting", "Stuck", guard=land(insert, eject), label="jam"
+    )
+    loader.transition("Stuck", "Ejecting", guard=eject, label="unjam")
+
+    playback_states = ["Stopped", "Playing", "Paused", "Rewinding"]
+    if extra_playback:
+        playback_states.append("FastForward")
+    playback = chart.machine("Playback", playback_states, initial="Stopped")
+    usable = land(manager.in_state("CD"), loader.in_state("Present"))
+    playback.transition(
+        "Stopped", "Playing", guard=land(usable, play),
+        actions={track: 1}, label="play",
+    )
+    playback.transition(
+        "Playing", "Paused", guard=land(usable, play, stop), label="pause"
+    )
+    playback.transition(
+        "Paused", "Playing", guard=land(usable, play, ~stop), label="resume"
+    )
+    playback.transition(
+        "Playing", "Rewinding", guard=land(usable, ~play, ~stop), label="rew"
+    )
+    playback.transition(
+        "Rewinding", "Stopped", guard=stop, actions={track: 0}, label="rewound"
+    )
+    if extra_playback:
+        playback.transition(
+            "Playing", "FastForward", guard=land(usable, play, ~eject, ~stop),
+            label="ff",
+        )
+        playback.transition(
+            "FastForward", "Playing", guard=play, label="ffdone"
+        )
+    playback.transition(
+        "Playing", "Stopped", guard=lor(stop, ~usable),
+        actions={track: 0}, label="stop",
+    )
+    playback.transition(
+        "Paused", "Stopped", guard=lor(stop, ~usable),
+        actions={track: 0}, label="stop2",
+    )
+    playback.transition(
+        "Rewinding", "Stopped", guard=~usable, actions={track: 0}, label="stop3"
+    )
+    return chart
+
+
+def _fsas() -> list[FsaSpec]:
+    return [
+        FsaSpec("BehaviourModel DiscPresent", machines=("Playback",)),
+        FsaSpec("BehaviourModel Overall", machines=("Loader", "Playback")),
+        FsaSpec("ModeManager", machines=("ModeManager",)),
+        FsaSpec("InOn", machines=("Loader",)),
+        FsaSpec("ModeManager Overall", machines=("PowerMode",)),
+    ]
+
+
+def cd_player() -> Benchmark:
+    return make_benchmark(
+        _cd_chart(
+            "ModelingACdPlayerradioUsingEnumeratedDataType",
+            insert_ticks=3,
+            extra_playback=False,
+        ),
+        k=205,
+        fsas=_fsas(),
+        paper_num_observables=13,
+    )
+
+
+def cd_player2() -> Benchmark:
+    return make_benchmark(
+        _cd_chart(
+            "ModelingACdPlayerradioUsingEnumeratedDataType2",
+            insert_ticks=2,
+            extra_playback=True,
+        ),
+        k=205,
+        fsas=_fsas(),
+        paper_num_observables=13,
+        notes="Second implementation of the CD player (paper footnote 2).",
+    )

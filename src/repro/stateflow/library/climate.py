@@ -1,0 +1,64 @@
+"""HomeClimateControlUsingTheTruthtableBlock (Table I row; paper Fig. 2).
+
+A home climate controller: a cooler and a heater, each a two-state
+bang-bang machine driven by the measured temperature against a setpoint,
+plus humidity-driven dehumidification command outputs -- mirroring the
+MathWorks truth-table example's observable interface (|X| = 7).
+
+The paper's Fig. 2 shows the learned cooler abstraction:
+
+    q1 --(s' = Off)--> q1
+    q1 --(inp.temp > T_thresh) ∧ (s' = On)--> q2
+    q2 --(s' = On)--> q2
+    q2 --¬(inp.temp > T_thresh) ∧ (s' = Off)--> q1
+
+with ``T_thresh = 30`` in this reconstruction.
+"""
+
+from __future__ import annotations
+
+from ...expr.types import BOOL, IntSort
+from ..benchmark import Benchmark, FsaSpec, make_benchmark
+from ..chart import Chart
+
+T_THRESH = 30       # cooling threshold
+HEAT_THRESH = 15    # heating threshold
+HUMID_THRESH = 70   # dehumidify threshold
+
+
+def build() -> Benchmark:
+    chart = Chart("HomeClimateControlUsingTheTruthtableBlock")
+    temp = chart.add_input("temp", IntSort(0, 60))
+    humid = chart.add_input("humid", IntSort(0, 100))
+    setpoint = chart.add_input("setpoint", IntSort(10, 40))
+
+    cool_cmd = chart.add_data("cool_cmd", BOOL, init=0)
+    dehumid_cmd = chart.add_data("dehumid_cmd", BOOL, init=0)
+
+    cooler = chart.machine("Cooler", ["Off", "On"], initial="Off")
+    cooler.transition(
+        "Off", "On", guard=temp > T_THRESH,
+        actions={cool_cmd: True}, label="hot",
+    )
+    cooler.transition(
+        "On", "Off", guard=~(temp > T_THRESH),
+        actions={cool_cmd: False}, label="cooled",
+    )
+
+    heater = chart.machine("Heater", ["Off", "On"], initial="Off")
+    heater.transition("Off", "On", guard=temp < HEAT_THRESH, label="cold")
+    heater.transition("On", "Off", guard=~(temp < HEAT_THRESH), label="warmed")
+    # Dehumidifier command follows humidity while the heater idles.
+    heater.during("Off", {dehumid_cmd: humid > HUMID_THRESH})
+    heater.during("On", {dehumid_cmd: False})
+
+    return make_benchmark(
+        chart,
+        k=10,
+        fsas=[FsaSpec("Cooler", machines=("Cooler",))],
+        paper_num_observables=7,
+        notes=(
+            "Fig. 2 benchmark. The paper reports N=2, d=1, alpha=1 in a "
+            "single iteration for the cooler FSA."
+        ),
+    )

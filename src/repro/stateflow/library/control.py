@@ -1,0 +1,228 @@
+"""Control-oriented benchmarks.
+
+* BangBangControlUsingTemporalLogic -- boiler bang-bang controller with
+  temporal-logic dwell times; two Table I rows (outer Heater FSA and the
+  inner On-phase FSA).
+* ReuseStatesByUsingAtomicSubcharts -- a three-state power mode reused
+  via atomic subcharts.
+* StatesWhenEnabling -- behaviour of states under an enable signal.
+* StateTransitionMatrixViewForStateTransitionTable -- a five-mode
+  temperature controller authored as a transition table.
+* UsingSimulinkFunctionsToDesignSwitchingControllers -- controller-mode
+  switching on tracking error.
+"""
+
+from __future__ import annotations
+
+from ...expr.ast import land
+from ...expr.types import BOOL, EnumSort, IntSort
+from ..benchmark import Benchmark, FsaSpec, make_benchmark
+from ..chart import Chart
+
+REFERENCE = 20  # bang-bang temperature reference
+
+
+def bangbang() -> Benchmark:
+    """Boiler bang-bang controller (paper rows: Heater, On).
+
+    The heater cycles Off -> Warmup -> On -> Cooldown with dwell-time
+    minimums (``after``); while On, an inner machine tracks the boiler
+    temperature band and drives the status LED.  |X| = 5: temperature
+    input, heater state + dwell, on-phase state, LED output.
+    """
+    chart = Chart("BangBangControlUsingTemporalLogic")
+    temp = chart.add_input("temp", IntSort(0, 40))
+    led = chart.add_data("led", BOOL, init=0)
+
+    heater = chart.machine(
+        "Heater", ["Off", "Warmup", "On", "Cooldown"],
+        initial="Off", max_dwell=4,
+    )
+    heater.transition(
+        "Off", "Warmup", guard=temp < REFERENCE, label="demand"
+    )
+    heater.transition(
+        "Warmup", "On", guard=heater.after(3), label="warm"
+    )
+    heater.transition(
+        "On", "Cooldown", guard=land(temp >= REFERENCE, heater.after(3)),
+        label="satisfied",
+    )
+    heater.transition(
+        "Cooldown", "Off", guard=heater.after(2), label="rested"
+    )
+
+    phase = chart.machine(
+        "OnPhase", ["Idle", "Low", "Norm", "High", "Flash"], initial="Idle"
+    )
+    active = heater.in_state("On")
+    phase.transition("Idle", "Low", guard=land(active, temp < 10), label="low")
+    phase.transition(
+        "Idle", "Norm", guard=land(active, temp >= 10, temp < 30),
+        label="norm",
+    )
+    phase.transition("Idle", "High", guard=land(active, temp >= 30), label="high")
+    phase.transition("Low", "Norm", guard=land(active, temp >= 10), label="rise")
+    phase.transition("Norm", "High", guard=land(active, temp >= 30), label="hot")
+    phase.transition("Norm", "Low", guard=land(active, temp < 10), label="drop")
+    phase.transition("High", "Flash", guard=land(active, temp >= 38), label="alert")
+    phase.transition("High", "Norm", guard=land(active, temp < 30), label="calm")
+    phase.transition("Flash", "Idle", guard=~active, label="off1")
+    phase.transition("Low", "Idle", guard=~active, label="off2")
+    phase.transition("Norm", "Idle", guard=~active, label="off3")
+    phase.transition("High", "Idle", guard=~active, label="off4")
+    phase.during("Flash", {led: True})
+    phase.during("Idle", {led: False})
+
+    return make_benchmark(
+        chart,
+        k=62,
+        fsas=[
+            FsaSpec("Heater", machines=("Heater",)),
+            FsaSpec("On", machines=("OnPhase",)),
+        ],
+        paper_num_observables=5,
+    )
+
+
+def reuse_states() -> Benchmark:
+    """Power-mode subchart reused atomically: Off / Standby / On.
+
+    |X| = 2: mode-request input and the chart state.  Paper: N=3, i=1.
+    """
+    chart = Chart("ReuseStatesByUsingAtomicSubcharts")
+    req = chart.add_input("req", EnumSort("Req", ("off", "standby", "on")))
+
+    machine = chart.machine("Power", ["Off", "Standby", "On"], initial="Off")
+    machine.transition("Off", "Standby", guard=req.eq("standby"), label="wake")
+    machine.transition("Standby", "On", guard=req.eq("on"), label="start")
+    machine.transition("On", "Standby", guard=req.eq("standby"), label="pause")
+    machine.transition("Standby", "Off", guard=req.eq("off"), label="sleep")
+    machine.transition("On", "Off", guard=req.eq("off"), label="kill")
+
+    return make_benchmark(
+        chart,
+        k=10,
+        fsas=[FsaSpec("Power", machines=("Power",))],
+        paper_num_observables=2,
+    )
+
+
+def states_when_enabling() -> Benchmark:
+    """Enable-signal semantics: Disabled / Enabled / Held / Reset.
+
+    |X| = 2: enable input and state.  Paper: N=4, i=1.
+    """
+    chart = Chart("StatesWhenEnabling")
+    enable = chart.add_input("en", BOOL)
+
+    machine = chart.machine(
+        "Enabling", ["Disabled", "Enabled", "Held", "Reset"],
+        initial="Disabled",
+    )
+    machine.transition("Disabled", "Enabled", guard=enable, label="enable")
+    machine.transition("Enabled", "Held", guard=~enable, label="hold")
+    machine.transition("Held", "Enabled", guard=enable, label="resume")
+    machine.transition("Held", "Reset", guard=~enable, label="expire")
+    machine.transition("Reset", "Enabled", guard=enable, label="restart")
+    machine.transition("Reset", "Disabled", guard=~enable, label="settle")
+
+    return make_benchmark(
+        chart,
+        k=30,
+        fsas=[FsaSpec("Enabling", machines=("Enabling",))],
+        paper_num_observables=2,
+    )
+
+
+def transition_table() -> Benchmark:
+    """Temperature controller authored as a state-transition table.
+
+    Five modes driven by temperature bands with a fault latch.
+    |X| = 3: temperature input, mode, power output.  Paper: N=5, i=4.
+    """
+    chart = Chart("StateTransitionMatrixViewForStateTransitionTable")
+    temp = chart.add_input("temp", IntSort(0, 50))
+    power = chart.add_data("power", IntSort(0, 3), init=0)
+
+    machine = chart.machine(
+        "Mode", ["Off", "LowHeat", "MedHeat", "HighHeat", "Fault"],
+        initial="Off",
+    )
+    machine.transition(
+        "Off", "LowHeat", guard=temp < 18, actions={power: 1}, label="chill"
+    )
+    machine.transition(
+        "LowHeat", "MedHeat", guard=temp < 12, actions={power: 2}, label="cold"
+    )
+    machine.transition(
+        "MedHeat", "HighHeat", guard=temp < 6, actions={power: 3}, label="freeze"
+    )
+    machine.transition(
+        "HighHeat", "Fault", guard=temp >= 45, actions={power: 0}, label="overrun"
+    )
+    machine.transition(
+        "LowHeat", "Off", guard=temp >= 22, actions={power: 0}, label="warm1"
+    )
+    machine.transition(
+        "MedHeat", "LowHeat", guard=temp >= 14, actions={power: 1}, label="warm2"
+    )
+    machine.transition(
+        "HighHeat", "MedHeat", guard=temp >= 9, actions={power: 2}, label="warm3"
+    )
+    machine.transition(
+        "Fault", "Off", guard=temp < 25, actions={power: 0}, label="clear"
+    )
+
+    return make_benchmark(
+        chart,
+        k=25,
+        fsas=[FsaSpec("Mode", machines=("Mode",))],
+        paper_num_observables=3,
+    )
+
+
+def switching_controllers() -> Benchmark:
+    """Controller-mode switching on tracking error magnitude.
+
+    |X| = 3: error input, controller mode, command output.
+    Paper: N=4, i=1.
+    """
+    chart = Chart("UsingSimulinkFunctionsToDesignSwitchingControllers")
+    err = chart.add_input("err", IntSort(-20, 20))
+    cmd = chart.add_data("u", IntSort(0, 3), init=0)
+
+    machine = chart.machine(
+        "Controller", ["Idle", "P", "PI", "PID"], initial="Idle"
+    )
+    machine.transition(
+        "Idle", "P", guard=(err > 2) | (err < -2), actions={cmd: 1},
+        label="engage",
+    )
+    machine.transition(
+        "P", "PI", guard=(err > 8) | (err < -8), actions={cmd: 2},
+        label="integrate",
+    )
+    machine.transition(
+        "PI", "PID", guard=(err > 15) | (err < -15), actions={cmd: 3},
+        label="derivative",
+    )
+    machine.transition(
+        "PID", "PI", guard=land(err <= 15, err >= -15), actions={cmd: 2},
+        label="relax1",
+    )
+    machine.transition(
+        "PI", "P", guard=land(err <= 8, err >= -8), actions={cmd: 1},
+        label="relax2",
+    )
+    machine.transition(
+        "P", "Idle", guard=land(err <= 2, err >= -2), actions={cmd: 0},
+        label="settle",
+    )
+
+    return make_benchmark(
+        chart,
+        k=10,
+        fsas=[FsaSpec("Controller", machines=("Controller",))],
+        paper_num_observables=3,
+    )

@@ -1,0 +1,294 @@
+"""Safety- and fault-handling benchmarks.
+
+* ModelingALaunchAbortSystem -- launch vehicle with abort logic
+  (three Table I rows: abort logic, overall mission, mode logic).
+* ModelingARedundantSensorPairUsingAtomicSubchart -- two monitored
+  sensors with a selector.
+* ModelingASecuritySystem -- alarm controller with door/window/motion
+  sensor FSAs (six Table I rows).
+* YoYoControlOfSatellite -- yo-yo despin controller (three rows).
+"""
+
+from __future__ import annotations
+
+from ...expr.ast import land, lor
+from ...expr.types import BOOL, EnumSort, IntSort
+from ..benchmark import Benchmark, FsaSpec, make_benchmark
+from ..chart import Chart
+
+
+def launch_abort() -> Benchmark:
+    """Launch abort system: mission sequencer, mode logic, abort logic.
+
+    |X| = 6: command + failure inputs, three machines, altitude counter.
+    Paper rows: "Abort InabortLogic" (N=6), "Overall" (N=4),
+    "ModeLogic" (N=5).
+    """
+    chart = Chart("ModelingALaunchAbortSystem")
+    cmd = chart.add_input("cmd", EnumSort("Cmd", ("none", "launch", "abort")))
+    fail = chart.add_input("fail", BOOL)
+    alt = chart.add_data("alt", IntSort(0, 8), init=0)
+
+    from ..chart import Machine
+
+    # AbortLogic is declared *first* (it must classify an abort against
+    # the mission phase in which it was raised, i.e. the pre-update
+    # Overall state); Overall and ModeLogic follow in execution order.
+    abort_logic = chart.machine(
+        "AbortLogic",
+        ["Monitor", "PadAbort", "LowAbort", "HighAbort", "Chute", "Splashdown"],
+        initial="Monitor",
+    )
+    overall = chart.machine(
+        "Overall", ["Prelaunch", "Ascent", "AbortMode", "Done"],
+        initial="Prelaunch",
+    )
+    overall.transition(
+        "Prelaunch", "Ascent", guard=land(cmd.eq("launch"), ~fail),
+        label="liftoff",
+    )
+    overall.transition(
+        "Ascent", "AbortMode", guard=lor(cmd.eq("abort"), fail), label="abort"
+    )
+    overall.transition("Ascent", "Done", guard=alt >= 8, label="orbit")
+    overall.transition("AbortMode", "Done", guard=~fail, label="recovered")
+    overall.during("Ascent", {alt: alt + 1})
+
+    mode = chart.machine(
+        "ModeLogic",
+        ["Idle", "FirstStage", "SecondStage", "AbortBurn", "Safed"],
+        initial="Idle",
+    )
+    ascending = overall.in_state("Ascent")
+    aborting = overall.in_state("AbortMode")
+    mode.transition("Idle", "FirstStage", guard=ascending, label="stage1")
+    mode.transition(
+        "FirstStage", "SecondStage", guard=land(ascending, alt >= 4),
+        label="stage2",
+    )
+    mode.transition("FirstStage", "AbortBurn", guard=aborting, label="escape1")
+    mode.transition("SecondStage", "AbortBurn", guard=aborting, label="escape2")
+    mode.transition("SecondStage", "Safed", guard=overall.in_state("Done"), label="secured")
+    mode.transition("AbortBurn", "Safed", guard=overall.in_state("Done"), label="safed")
+
+    trigger = lor(cmd.eq("abort"), fail)
+    abort_logic.transition(
+        "Monitor", "PadAbort",
+        guard=land(trigger, overall.in_state("Prelaunch")), label="pad",
+    )
+    abort_logic.transition(
+        "Monitor", "LowAbort", guard=land(trigger, ascending, alt < 4),
+        label="low",
+    )
+    abort_logic.transition(
+        "Monitor", "HighAbort", guard=land(trigger, ascending, alt >= 4),
+        label="high",
+    )
+    abort_logic.transition("PadAbort", "Chute", guard=None, label="chute1")
+    abort_logic.transition("LowAbort", "Chute", guard=None, label="chute2")
+    abort_logic.transition("HighAbort", "Chute", guard=None, label="chute3")
+    abort_logic.transition("Chute", "Splashdown", guard=~fail, label="down")
+
+    return make_benchmark(
+        chart,
+        k=22,
+        fsas=[
+            FsaSpec("Abort InabortLogic", machines=("AbortLogic",)),
+            FsaSpec("Overall", machines=("Overall",)),
+            FsaSpec("ModeLogic", machines=("ModeLogic",)),
+        ],
+        paper_num_observables=6,
+    )
+
+
+def redundant_sensors() -> Benchmark:
+    """Redundant sensor pair with range monitors and a selector.
+
+    A sensor whose reading leaves [0, 90] is declared failed; the
+    selector prefers sensor 1, falls back to sensor 2, holds the last
+    good value while one recovers, and latches a total failure.
+    |X| = 6.  Paper: N=4, i=4.
+    """
+    chart = Chart("ModelingARedundantSensorPairUsingAtomicSubchart")
+    s1 = chart.add_input("s1", IntSort(0, 100), samples=[0, 45, 90, 91, 100])
+    s2 = chart.add_input("s2", IntSort(0, 100), samples=[0, 55, 90, 91, 100])
+    out = chart.add_data("out", IntSort(0, 100), init=0)
+
+    mon1 = chart.machine("Mon1", ["Nominal", "Failed"], initial="Nominal")
+    mon1.transition("Nominal", "Failed", guard=s1 > 90, label="fail1")
+    mon1.transition("Failed", "Nominal", guard=s1 <= 90, label="heal1")
+
+    mon2 = chart.machine("Mon2", ["Nominal", "Failed"], initial="Nominal")
+    mon2.transition("Nominal", "Failed", guard=s2 > 90, label="fail2")
+    mon2.transition("Failed", "Nominal", guard=s2 <= 90, label="heal2")
+
+    ok1 = mon1.in_state("Nominal")
+    ok2 = mon2.in_state("Nominal")
+    selector = chart.machine(
+        "Selector", ["UseS1", "UseS2", "Hold", "FailBoth"], initial="UseS1"
+    )
+    selector.transition("UseS1", "UseS2", guard=land(~ok1, ok2), label="swap")
+    selector.transition("UseS1", "FailBoth", guard=land(~ok1, ~ok2), label="dual1")
+    selector.transition("UseS2", "Hold", guard=land(~ok2, ok1), label="back")
+    selector.transition("UseS2", "FailBoth", guard=land(~ok1, ~ok2), label="dual2")
+    selector.transition("Hold", "UseS1", guard=ok1, label="restore")
+    selector.transition("FailBoth", "Hold", guard=lor(ok1, ok2), label="partial")
+    selector.during("UseS1", {out: s1})
+    selector.during("UseS2", {out: s2})
+
+    return make_benchmark(
+        chart,
+        k=20,
+        fsas=[FsaSpec("Selector", machines=("Selector",))],
+        paper_num_observables=6,
+    )
+
+
+def security_system() -> Benchmark:
+    """Home security system: alarm controller + three sensor channels.
+
+    Six Table I rows: the alarm's inner On-FSA, the alarm overall, the
+    door channel, the motion channel's inner debounce FSA, the motion
+    channel overall, and the window channel.  |X| = 14 here (the paper's
+    16 includes two inputs this reconstruction folds into one each).
+    """
+    chart = Chart("ModelingASecuritySystem")
+    arm = chart.add_input("arm", BOOL)
+    disarm = chart.add_input("disarm", BOOL)
+    door = chart.add_input("door", BOOL)
+    window = chart.add_input("win", BOOL)
+    motion = chart.add_input("motion", BOOL)
+    siren = chart.add_data("siren", BOOL, init=0)
+
+    alarm = chart.machine("Alarm", ["Off", "On", "Alert"], initial="Off")
+    alarm_on = chart.machine(
+        "AlarmOn", ["Idle", "Entry", "Siren", "Report"], initial="Idle",
+        max_dwell=3,
+    )
+    door_ch = chart.machine("Door", ["Disarmed", "Watch", "Breach"], initial="Disarmed")
+    win_ch = chart.machine("Win", ["Disarmed", "Watch", "Breach"], initial="Disarmed")
+    motion_ch = chart.machine(
+        "Motion", ["Disabled", "Active", "Breach"], initial="Disabled"
+    )
+    motion_act = chart.machine(
+        "MotionAct", ["Quiet", "Count1", "Count2", "Tripped"], initial="Quiet"
+    )
+
+    armed = alarm.in_state("On")
+    any_breach = lor(
+        door_ch.in_state("Breach"),
+        win_ch.in_state("Breach"),
+        motion_ch.in_state("Breach"),
+    )
+    alarm.transition("Off", "On", guard=land(arm, ~disarm), label="arm")
+    alarm.transition("On", "Alert", guard=any_breach, label="breach")
+    alarm.transition("On", "Off", guard=disarm, label="disarm")
+    alarm.transition("Alert", "Off", guard=disarm, label="silence")
+
+    alarm_on.transition("Idle", "Entry", guard=land(armed, door), label="entry")
+    alarm_on.transition(
+        "Entry", "Idle", guard=disarm, label="authorized"
+    )
+    alarm_on.transition(
+        "Entry", "Siren", guard=alarm_on.after(3), actions={siren: True},
+        label="timeout",
+    )
+    alarm_on.transition(
+        "Siren", "Report", guard=alarm_on.after(2), label="dial"
+    )
+    alarm_on.transition(
+        "Report", "Idle", guard=disarm, actions={siren: False}, label="reset"
+    )
+
+    door_ch.transition("Disarmed", "Watch", guard=armed, label="dwatch")
+    door_ch.transition("Watch", "Breach", guard=door, label="dbreach")
+    door_ch.transition("Watch", "Disarmed", guard=~armed, label="drelax")
+    door_ch.transition("Breach", "Disarmed", guard=disarm, label="dclear")
+
+    win_ch.transition("Disarmed", "Watch", guard=armed, label="wwatch")
+    win_ch.transition("Watch", "Breach", guard=window, label="wbreach")
+    win_ch.transition("Watch", "Disarmed", guard=~armed, label="wrelax")
+    win_ch.transition("Breach", "Disarmed", guard=disarm, label="wclear")
+
+    motion_ch.transition("Disabled", "Active", guard=armed, label="mwatch")
+    motion_ch.transition(
+        "Active", "Breach", guard=motion_act.in_state("Tripped"), label="mbreach"
+    )
+    motion_ch.transition("Active", "Disabled", guard=~armed, label="mrelax")
+    motion_ch.transition("Breach", "Disabled", guard=disarm, label="mclear")
+
+    watching = motion_ch.in_state("Active")
+    motion_act.transition("Quiet", "Count1", guard=land(watching, motion), label="m1")
+    motion_act.transition("Count1", "Count2", guard=land(watching, motion), label="m2")
+    motion_act.transition("Count1", "Quiet", guard=~motion, label="mq1")
+    motion_act.transition("Count2", "Tripped", guard=land(watching, motion), label="m3")
+    motion_act.transition("Count2", "Quiet", guard=~motion, label="mq2")
+    motion_act.transition("Tripped", "Quiet", guard=~watching, label="mreset")
+
+    return make_benchmark(
+        chart,
+        k=100,
+        fsas=[
+            FsaSpec("InAlarm InOn", machines=("AlarmOn",)),
+            FsaSpec("Overall", machines=("Alarm",)),
+            FsaSpec("InDoor", machines=("Door",)),
+            FsaSpec("InMotion InActive", machines=("MotionAct",)),
+            FsaSpec("InMotion Overall", machines=("Motion",)),
+            FsaSpec("InWin", machines=("Win",)),
+        ],
+        paper_num_observables=16,
+        notes="Paper |X|=16; this reconstruction observes 14 variables.",
+    )
+
+
+def yoyo_control() -> Benchmark:
+    """Yo-yo despin control of a satellite.
+
+    A control sequencer releases the yo-yo masses, a reel FSA tracks the
+    deployment mechanics, and a spin monitor bands the measured rate.
+    |X| = 8.  Paper rows: "InActive InReelMoving" (N=4) and two overall
+    rows (N=4, N=3).
+    """
+    chart = Chart("YoYoControlOfSatellite")
+    spin = chart.add_input("spin", IntSort(0, 20), samples=[0, 2, 3, 10, 14, 15, 20])
+    go = chart.add_input("go", BOOL)
+    released = chart.add_data("released", BOOL, init=0)
+
+    control = chart.machine(
+        "Control", ["Idle", "Active", "Complete"], initial="Idle"
+    )
+    control.transition(
+        "Idle", "Active", guard=land(go, spin > 10),
+        actions={released: True}, label="deploy",
+    )
+    control.transition("Active", "Complete", guard=spin <= 2, label="despun")
+
+    active = control.in_state("Active")
+    reel = chart.machine(
+        "Reel", ["Stopped", "Out", "In", "Locked"], initial="Stopped",
+        max_dwell=3,
+    )
+    reel.transition("Stopped", "Out", guard=active, label="unwind")
+    reel.transition("Out", "In", guard=land(active, reel.after(3)), label="rewind")
+    reel.transition("In", "Locked", guard=land(active, spin <= 3), label="lock")
+    reel.transition("Locked", "Stopped", guard=control.in_state("Complete"), label="stow")
+
+    monitor = chart.machine(
+        "Monitor", ["High", "Nominal", "Low", "Critical"], initial="High"
+    )
+    monitor.transition("High", "Nominal", guard=spin <= 14, label="nom")
+    monitor.transition("Nominal", "Low", guard=spin <= 3, label="low")
+    monitor.transition("Nominal", "High", guard=spin > 14, label="back")
+    monitor.transition("Low", "Critical", guard=spin.eq(0), label="crit")
+    monitor.transition("Low", "Nominal", guard=spin > 3, label="rise")
+
+    return make_benchmark(
+        chart,
+        k=10,
+        fsas=[
+            FsaSpec("InActive InReelMoving", machines=("Reel",)),
+            FsaSpec("Overall", machines=("Monitor",)),
+            FsaSpec("Control Overall", machines=("Control",)),
+        ],
+        paper_num_observables=8,
+    )

@@ -1,0 +1,154 @@
+"""Temporal-logic and scheduling benchmarks.
+
+* AutomaticTransmissionUsingDurationOperator -- gear shifting with
+  duration-qualified speed thresholds.
+* SchedulingSimulinkAlgorithmsUsingStateflow -- a cyclic algorithm
+  scheduler with per-phase dwell times.
+* Superstep -- the super-step semantics demo: with super-stepping the
+  inner chain collapses within a tick (a single observable state);
+  without it the chain is traversed one state per tick.
+* TemporalLogicScheduler -- rate scheduler driven by ``after``.
+"""
+
+from __future__ import annotations
+
+from ...expr.ast import land
+from ...expr.types import BOOL, IntSort
+from ..benchmark import Benchmark, FsaSpec, make_benchmark
+from ..chart import Chart
+
+
+def transmission() -> Benchmark:
+    """Automatic transmission with duration-qualified shifts.
+
+    A shift happens only after the speed has satisfied the threshold for
+    a dwell period (the ``duration`` operator; scaled-down dwell here,
+    the paper's k=125 reflects the original 62-tick counter).
+    |X| = 4: speed and throttle inputs, gear, gear dwell.  Paper: N=5.
+    """
+    chart = Chart("AutomaticTransmissionUsingDurationOperator")
+    speed = chart.add_input(
+        "speed", IntSort(0, 120), samples=[0, 5, 20, 25, 26, 45, 50, 51, 75, 76, 120]
+    )
+    throttle = chart.add_input("throttle", IntSort(0, 100), samples=[0, 50, 100])
+
+    gear = chart.machine(
+        "Gear", ["Neutral", "First", "Second", "Third", "Fourth"],
+        initial="Neutral", max_dwell=3,
+    )
+    gear.transition("Neutral", "First", guard=speed > 0, label="engage")
+    gear.transition(
+        "First", "Second", guard=land(speed > 25, gear.after(3)), label="up12"
+    )
+    gear.transition(
+        "Second", "Third", guard=land(speed > 50, gear.after(3)), label="up23"
+    )
+    gear.transition(
+        "Third", "Fourth", guard=land(speed > 75, gear.after(3)), label="up34"
+    )
+    gear.transition("Fourth", "Third", guard=speed <= 75, label="down43")
+    gear.transition("Third", "Second", guard=speed <= 50, label="down32")
+    gear.transition("Second", "First", guard=speed <= 25, label="down21")
+    gear.transition(
+        "First", "Neutral", guard=land(speed.eq(0), throttle.eq(0)),
+        label="disengage",
+    )
+
+    return make_benchmark(
+        chart,
+        k=125,
+        fsas=[FsaSpec("Gear", machines=("Gear",))],
+        paper_num_observables=4,
+    )
+
+
+def simulink_scheduler() -> Benchmark:
+    """Cyclic scheduler for three Simulink algorithms (A -> B -> C).
+
+    Each phase holds for a fixed number of ticks while ``run`` is
+    asserted; dropping ``run`` parks the scheduler.
+    |X| = 3: run input, phase, dwell.  Paper: N=3, i=5.
+    """
+    chart = Chart("SchedulingSimulinkAlgorithmsUsingStateflow")
+    run = chart.add_input("run", BOOL)
+
+    sched = chart.machine(
+        "Sched", ["AlgoA", "AlgoB", "AlgoC"], initial="AlgoA", max_dwell=4
+    )
+    sched.transition(
+        "AlgoA", "AlgoB", guard=land(run, sched.after(2)), label="a2b"
+    )
+    sched.transition(
+        "AlgoB", "AlgoC", guard=land(run, sched.after(3)), label="b2c"
+    )
+    sched.transition(
+        "AlgoC", "AlgoA", guard=land(run, sched.after(2)), label="c2a"
+    )
+
+    return make_benchmark(
+        chart,
+        k=127,
+        fsas=[FsaSpec("Sched", machines=("Sched",))],
+        paper_num_observables=3,
+    )
+
+
+def superstep() -> Benchmark:
+    """Super-step semantics demo (paper rows: with / without).
+
+    With super-stepping enabled, the demo chart's inner chain reaches its
+    fixpoint within one tick -- externally a single state (the paper
+    learns N=1).  Without super-stepping the chain advances one state per
+    tick (N=3).  Both variants are modelled side by side; each Table I
+    row learns one of them.
+    """
+    chart = Chart("Superstep")
+    step = chart.add_input("step", BOOL)
+
+    with_super = chart.machine("WithSuper", ["Steady"], initial="Steady")
+    with_super.transition("Steady", "Steady", guard=step, label="fixpoint")
+
+    without = chart.machine(
+        "Without", ["A", "B", "C"], initial="A"
+    )
+    without.transition("A", "B", guard=step, label="ab")
+    without.transition("B", "C", guard=step, label="bc")
+    without.transition("C", "A", guard=step, label="ca")
+
+    return make_benchmark(
+        chart,
+        k=10,
+        fsas=[
+            FsaSpec("WithSuperStep", machines=("WithSuper",)),
+            FsaSpec("WithoutSuperStep", machines=("Without",)),
+        ],
+        paper_num_observables=1,
+        notes="Two semantics variants modelled as sibling machines.",
+    )
+
+
+def temporal_scheduler() -> Benchmark:
+    """Rate scheduler: fast/medium/slow phases timed with ``after``.
+
+    |X| = 2 in the paper (state + tick); the dwell counter is observable
+    here, giving 3.  Paper: N=4, i=6, k=202 (scaled dwell).
+    """
+    chart = Chart("TemporalLogicScheduler")
+    run = chart.add_input("run", BOOL)
+
+    sched = chart.machine(
+        "Rate", ["Idle", "Fast", "Medium", "Slow"], initial="Idle",
+        max_dwell=6,
+    )
+    sched.transition("Idle", "Fast", guard=run, label="start")
+    sched.transition("Fast", "Medium", guard=sched.after(2), label="f2m")
+    sched.transition("Medium", "Slow", guard=sched.after(4), label="m2s")
+    sched.transition("Slow", "Fast", guard=land(run, sched.after(6)), label="s2f")
+    sched.transition("Slow", "Idle", guard=land(~run, sched.after(6)), label="stop")
+
+    return make_benchmark(
+        chart,
+        k=202,
+        fsas=[FsaSpec("Rate", machines=("Rate",))],
+        paper_num_observables=2,
+    )

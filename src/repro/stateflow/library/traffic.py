@@ -1,0 +1,124 @@
+"""Traffic-light benchmarks.
+
+* MooreTrafficLight -- a Moore-style pedestrian-aware light cycling
+  through seven phases on tick timers.
+* ModelingAnIntersectionOfTwo1wayStreetsUsingStateflow -- two one-way
+  streets sharing an intersection: a six-phase controller plus an
+  all-red countdown FSA, lamp and walk-signal outputs.
+"""
+
+from __future__ import annotations
+
+from ...expr.ast import land, lor
+from ...expr.types import BOOL, IntSort
+from ..benchmark import Benchmark, FsaSpec, make_benchmark
+from ..chart import Chart
+
+
+def moore_traffic_light() -> Benchmark:
+    """Moore traffic light with sensor-extended green (7 phases).
+
+    |X| = 3: vehicle sensor, light phase, dwell.  Paper: N=7, i=3.
+    """
+    chart = Chart("MooreTrafficLight")
+    sensor = chart.add_input("sensor", BOOL)
+
+    light = chart.machine(
+        "Light",
+        ["Red", "RedYellow", "Green", "GreenHold", "Yellow", "AllRed1", "AllRed2"],
+        initial="Red",
+        max_dwell=5,
+    )
+    light.transition("Red", "RedYellow", guard=light.after(4), label="prep")
+    light.transition("RedYellow", "Green", guard=light.after(1), label="go")
+    light.transition(
+        "Green", "GreenHold", guard=land(light.after(4), sensor), label="extend"
+    )
+    light.transition(
+        "Green", "Yellow", guard=land(light.after(4), ~sensor), label="amber"
+    )
+    light.transition("GreenHold", "Yellow", guard=light.after(2), label="amber2")
+    light.transition("Yellow", "AllRed1", guard=light.after(2), label="clear1")
+    light.transition("AllRed1", "AllRed2", guard=None, label="clear2")
+    light.transition("AllRed2", "Red", guard=None, label="cycle")
+
+    return make_benchmark(
+        chart,
+        k=40,
+        fsas=[FsaSpec("Light", machines=("Light",))],
+        paper_num_observables=3,
+    )
+
+
+def intersection() -> Benchmark:
+    """Two one-way streets: phase controller + all-red countdown.
+
+    The phase machine (paper's "Overall", N=6) alternates green between
+    street A and street B with yellow and all-red interludes; demand
+    sensors shorten the opposite green.  The countdown machine (paper's
+    "InRed", N=8) steps through eight pedestrian-countdown states while
+    the intersection is all-red.  Lamp and walk outputs track the phase.
+    |X| = 10-11 depending on counting convention; paper reports 11.
+    """
+    chart = Chart("ModelingAnIntersectionOfTwo1wayStreetsUsingStateflow")
+    sens_a = chart.add_input("sensA", BOOL)
+    sens_b = chart.add_input("sensB", BOOL)
+    ped = chart.add_input("ped", BOOL)
+
+    lamp_a = chart.add_data("lampA", IntSort(0, 2), init=2)  # 0=G,1=Y,2=R
+    lamp_b = chart.add_data("lampB", IntSort(0, 2), init=2)
+    walk_a = chart.add_data("walkA", BOOL, init=0)
+    walk_b = chart.add_data("walkB", BOOL, init=0)
+
+    phase = chart.machine(
+        "Phase",
+        ["AGreen", "AYellow", "AllRedA", "BGreen", "BYellow", "AllRedB"],
+        initial="AllRedB",
+        max_dwell=5,
+    )
+    phase.transition(
+        "AllRedB", "AGreen", guard=land(phase.after(2), ~ped),
+        actions={lamp_a: 0, walk_b: True}, label="openA",
+    )
+    phase.transition(
+        "AGreen", "AYellow", guard=land(phase.after(4), lor(sens_b, ped)),
+        actions={lamp_a: 1, walk_b: False}, label="yieldA",
+    )
+    phase.transition(
+        "AYellow", "AllRedA", guard=phase.after(2), actions={lamp_a: 2},
+        label="closeA",
+    )
+    phase.transition(
+        "AllRedA", "BGreen", guard=land(phase.after(2), ~ped),
+        actions={lamp_b: 0, walk_a: True}, label="openB",
+    )
+    phase.transition(
+        "BGreen", "BYellow", guard=land(phase.after(4), lor(sens_a, ped)),
+        actions={lamp_b: 1, walk_a: False}, label="yieldB",
+    )
+    phase.transition(
+        "BYellow", "AllRedB", guard=phase.after(2), actions={lamp_b: 2},
+        label="closeB",
+    )
+
+    in_red = lor(phase.in_state("AllRedA"), phase.in_state("AllRedB"))
+    countdown = chart.machine(
+        "InRed", [f"R{i}" for i in range(1, 9)], initial="R1"
+    )
+    for i in range(1, 8):
+        countdown.transition(
+            f"R{i}", f"R{i + 1}", guard=in_red, label=f"tick{i}"
+        )
+    countdown.transition("R8", "R1", guard=in_red, label="wrap")
+    countdown.transition("R2", "R1", guard=~in_red, label="reset2")
+    countdown.transition("R3", "R1", guard=~in_red, label="reset3")
+
+    return make_benchmark(
+        chart,
+        k=60,
+        fsas=[
+            FsaSpec("InRed", machines=("InRed",)),
+            FsaSpec("Overall", machines=("Phase",)),
+        ],
+        paper_num_observables=11,
+    )

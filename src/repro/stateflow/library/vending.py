@@ -1,0 +1,127 @@
+"""Small event-driven benchmarks.
+
+* MealyVendingMachine -- the classic Mealy chart: nickels/dimes
+  accumulate toward 15 cents, soda dispensed on reaching it.
+* CountEvents -- counting input events against a limit.
+* MonitorTestPointsInStateflowChart -- a two-state toggle whose test
+  point is observed.
+* ViewDifferencesBetweenMessagesEventsAndData -- a consumer cycling
+  through receive/process/send on message arrival.
+"""
+
+from __future__ import annotations
+
+from ...expr.ast import land
+from ...expr.types import BOOL, EnumSort, IntSort
+from ..benchmark import Benchmark, FsaSpec, make_benchmark
+from ..chart import Chart
+
+COIN = EnumSort("Coin", ("none", "nickel", "dime"))
+
+
+def vending_machine() -> Benchmark:
+    """Mealy vending machine: states track money inserted (0/5/10/15).
+
+    |X| = 2: the coin input and the chart state.  Paper: N=4, i=1.
+    """
+    chart = Chart("MealyVendingMachine")
+    coin = chart.add_input("coin", COIN)
+
+    machine = chart.machine(
+        "Vend", ["Zero", "Five", "Ten", "Fifteen"], initial="Zero"
+    )
+    machine.transition("Zero", "Five", guard=coin.eq("nickel"), label="n0")
+    machine.transition("Zero", "Ten", guard=coin.eq("dime"), label="d0")
+    machine.transition("Five", "Ten", guard=coin.eq("nickel"), label="n5")
+    machine.transition("Five", "Fifteen", guard=coin.eq("dime"), label="d5")
+    machine.transition("Ten", "Fifteen", guard=coin.eq("nickel"), label="n10")
+    machine.transition("Ten", "Fifteen", guard=coin.eq("dime"), label="d10")
+    # Dispense and return to Zero on any further activity.
+    machine.transition("Fifteen", "Zero", guard=None, label="dispense")
+
+    return make_benchmark(
+        chart,
+        k=10,
+        fsas=[FsaSpec("Vend", machines=("Vend",))],
+        paper_num_observables=2,
+    )
+
+
+def count_events() -> Benchmark:
+    """Count rising events up to a limit of 10, then saturate.
+
+    |X| = 3: event input, chart state, counter.  Paper: N=3, k=20
+    (twice the counter limit).
+    """
+    chart = Chart("CountEvents")
+    ev = chart.add_input("ev", BOOL)
+    count = chart.add_data("count", IntSort(0, 10), init=0)
+
+    machine = chart.machine(
+        "Counter", ["Idle", "Counting", "Full"], initial="Idle"
+    )
+    machine.transition(
+        "Idle", "Counting", guard=ev, actions={count: 1}, label="first"
+    )
+    machine.transition(
+        "Counting", "Full", guard=land(ev, count >= 9),
+        actions={count: 10}, label="limit",
+    )
+    machine.transition(
+        "Counting", "Counting", guard=land(ev, count < 9),
+        actions={count: count + 1}, label="count",
+    )
+    machine.transition("Full", "Idle", guard=~ev, actions={count: 0}, label="reset")
+
+    return make_benchmark(
+        chart,
+        k=20,
+        fsas=[FsaSpec("Counter", machines=("Counter",))],
+        paper_num_observables=3,
+    )
+
+
+def monitor_test_points() -> Benchmark:
+    """Two-state toggle with an observed test point.
+
+    |X| = 2.  Paper: N=2, i=1, converges immediately.
+    """
+    chart = Chart("MonitorTestPointsInStateflowChart")
+    tick = chart.add_input("tick", BOOL)
+
+    machine = chart.machine("Toggle", ["A", "B"], initial="A")
+    machine.transition("A", "B", guard=tick, label="a2b")
+    machine.transition("B", "A", guard=tick, label="b2a")
+
+    return make_benchmark(
+        chart,
+        k=20,
+        fsas=[FsaSpec("Toggle", machines=("Toggle",))],
+        paper_num_observables=2,
+    )
+
+
+def messages_events() -> Benchmark:
+    """Message/event/data consumer: idle -> receive -> process -> send.
+
+    |X| = 2: message-arrival input and the consumer state.  Paper: N=4.
+    """
+    chart = Chart("ViewDifferencesBetweenMessagesEventsAndData")
+    msg = chart.add_input("msg", BOOL)
+
+    machine = chart.machine(
+        "Consumer", ["Idle", "Receiving", "Processing", "Sending"],
+        initial="Idle",
+    )
+    machine.transition("Idle", "Receiving", guard=msg, label="arrive")
+    machine.transition("Receiving", "Processing", guard=None, label="take")
+    machine.transition("Processing", "Sending", guard=msg, label="more")
+    machine.transition("Processing", "Idle", guard=~msg, label="done")
+    machine.transition("Sending", "Idle", guard=None, label="sent")
+
+    return make_benchmark(
+        chart,
+        k=10,
+        fsas=[FsaSpec("Consumer", machines=("Consumer",))],
+        paper_num_observables=2,
+    )

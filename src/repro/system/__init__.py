@@ -1,0 +1,6 @@
+"""System substrate: the formal model S = (X, X', R, Init) + simulator."""
+
+from .transition_system import InputSampler, SymbolicSystem, make_system
+from .valuation import Valuation
+
+__all__ = ["InputSampler", "SymbolicSystem", "Valuation", "make_system"]

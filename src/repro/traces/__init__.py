@@ -1,0 +1,30 @@
+"""Trace substrate: traces, trace sets, generation and serialisation."""
+
+from .generate import guided_trace, random_trace, random_traces
+from .io import (
+    load_csv,
+    load_json,
+    read_csv,
+    read_json,
+    save_csv,
+    save_json,
+    write_csv,
+    write_json,
+)
+from .trace import Trace, TraceSet
+
+__all__ = [
+    "Trace",
+    "TraceSet",
+    "guided_trace",
+    "load_csv",
+    "load_json",
+    "random_trace",
+    "random_traces",
+    "read_csv",
+    "read_json",
+    "save_csv",
+    "save_json",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,50 @@
+"""Trace generation by executing the system on sampled inputs.
+
+This is the paper's initial-trace-set construction (§IV-B: "an initial
+set of 50 traces, each of length 50, by executing the system with
+randomly sampled inputs") and the random-sampling baseline (§IV-C).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..system.transition_system import SymbolicSystem
+from .trace import Trace, TraceSet
+
+InputSampler = Callable[[random.Random], dict[str, int]]
+
+
+def random_trace(
+    system: SymbolicSystem,
+    length: int,
+    rng: random.Random,
+    sampler: InputSampler | None = None,
+) -> Trace:
+    """One execution trace of the given length from the initial state."""
+    sample = sampler or system.random_inputs
+    inputs = [sample(rng) for _ in range(length)]
+    return Trace(system.run(inputs))
+
+
+def random_traces(
+    system: SymbolicSystem,
+    count: int = 50,
+    length: int = 50,
+    seed: int = 0,
+    sampler: InputSampler | None = None,
+) -> TraceSet:
+    """The paper's default initial trace set: 50 traces of length 50."""
+    rng = random.Random(seed)
+    traces = TraceSet()
+    for _ in range(count):
+        traces.add(random_trace(system, length, rng, sampler))
+    return traces
+
+
+def guided_trace(
+    system: SymbolicSystem, input_seq: list[dict[str, int]]
+) -> Trace:
+    """Trace from an explicit input sequence (used by tests/examples)."""
+    return Trace(system.run(input_seq))

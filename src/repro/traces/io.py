@@ -1,0 +1,86 @@
+"""Trace serialisation: CSV (one file per trace set) and JSON.
+
+The CSV layout matches what a trace-collection harness would dump from an
+instrumented run: a ``trace`` column identifying the execution, a ``step``
+column, then one column per observable variable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TextIO
+
+from ..system.valuation import Valuation
+from .trace import Trace, TraceSet
+
+
+def write_csv(traces: TraceSet, out: TextIO) -> None:
+    """Write a trace set as CSV."""
+    variables: list[str] = []
+    for trace in traces:
+        if len(trace):
+            variables = list(trace[0])
+            break
+    writer = csv.writer(out)
+    writer.writerow(["trace", "step", *variables])
+    for index, trace in enumerate(traces):
+        for step, obs in enumerate(trace):
+            writer.writerow([index, step, *(obs[name] for name in variables)])
+
+
+def read_csv(src: TextIO) -> TraceSet:
+    """Read a trace set written by :func:`write_csv`."""
+    reader = csv.reader(src)
+    header = next(reader, None)
+    if header is None or header[:2] != ["trace", "step"]:
+        raise ValueError("not a trace CSV (expected 'trace,step,...' header)")
+    variables = header[2:]
+    grouped: dict[int, list[tuple[int, Valuation]]] = {}
+    for row in reader:
+        if not row:
+            continue
+        index, step = int(row[0]), int(row[1])
+        values = Valuation(
+            {name: int(value) for name, value in zip(variables, row[2:])}
+        )
+        grouped.setdefault(index, []).append((step, values))
+    traces = TraceSet()
+    for index in sorted(grouped):
+        steps = [obs for _step, obs in sorted(grouped[index])]
+        traces.add(Trace(steps))
+    return traces
+
+
+def save_csv(traces: TraceSet, path: str | Path) -> None:
+    with open(path, "w", newline="") as out:
+        write_csv(traces, out)
+
+
+def load_csv(path: str | Path) -> TraceSet:
+    with open(path, newline="") as src:
+        return read_csv(src)
+
+
+def write_json(traces: TraceSet, out: TextIO) -> None:
+    payload = [[obs.as_dict() for obs in trace] for trace in traces]
+    json.dump(payload, out, indent=2)
+
+
+def read_json(src: TextIO) -> TraceSet:
+    payload = json.load(src)
+    traces = TraceSet()
+    for raw_trace in payload:
+        traces.add(Trace(Valuation(obs) for obs in raw_trace))
+    return traces
+
+
+def save_json(traces: TraceSet, path: str | Path) -> None:
+    with open(path, "w") as out:
+        write_json(traces, out)
+
+
+def load_json(path: str | Path) -> TraceSet:
+    with open(path) as src:
+        return read_json(src)

@@ -1,0 +1,115 @@
+"""Traces and trace sets (paper §II-A).
+
+A trace is a finite sequence of observations ``v_1, ..., v_n``.  Positive
+(execution) traces correspond to system execution paths; every finite
+prefix of an execution trace is again an execution trace, so learned
+languages must be prefix-closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..system.valuation import Valuation
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A finite sequence of observations."""
+
+    observations: tuple[Valuation, ...]
+
+    def __init__(self, observations: Iterable[Valuation]):
+        object.__setattr__(self, "observations", tuple(observations))
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self) -> Iterator[Valuation]:
+        return iter(self.observations)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.observations[index])
+        return self.observations[index]
+
+    def __repr__(self) -> str:
+        return f"Trace(len={len(self.observations)})"
+
+    def prefix(self, length: int) -> "Trace":
+        """The prefix of the given length."""
+        if not 0 <= length <= len(self.observations):
+            raise ValueError(f"bad prefix length {length} for {self!r}")
+        return Trace(self.observations[:length])
+
+    def prefixes(self) -> Iterator["Trace"]:
+        """All non-empty prefixes, shortest first."""
+        for length in range(1, len(self.observations) + 1):
+            yield self.prefix(length)
+
+    def extended(self, *observations: Valuation) -> "Trace":
+        return Trace(self.observations + tuple(observations))
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        if not self.observations:
+            return ()
+        return tuple(sorted(self.observations[0]))
+
+
+class TraceSet:
+    """A deduplicating, order-preserving collection of traces."""
+
+    def __init__(self, traces: Iterable[Trace] = ()):
+        self._traces: list[Trace] = []
+        self._seen: set[Trace] = set()
+        for trace in traces:
+            self.add(trace)
+
+    def add(self, trace: Trace) -> bool:
+        """Add a trace; returns False if it was already present."""
+        if trace in self._seen:
+            return False
+        self._seen.add(trace)
+        self._traces.append(trace)
+        return True
+
+    def update(self, traces: Iterable[Trace]) -> int:
+        """Add many traces; returns how many were new."""
+        return sum(1 for trace in traces if self.add(trace))
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces)
+
+    def __contains__(self, trace: Trace) -> bool:
+        return trace in self._seen
+
+    def __repr__(self) -> str:
+        return f"TraceSet(traces={len(self._traces)}, obs={self.total_observations})"
+
+    @property
+    def total_observations(self) -> int:
+        return sum(len(trace) for trace in self._traces)
+
+    def copy(self) -> "TraceSet":
+        return TraceSet(self._traces)
+
+    def union(self, other: "TraceSet") -> "TraceSet":
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    def observations(self) -> Iterator[Valuation]:
+        """All observations across all traces (with repetition)."""
+        for trace in self._traces:
+            yield from trace
+
+    def consecutive_pairs(self) -> Iterator[tuple[Valuation, Valuation]]:
+        """All (v_t, v_t+1) pairs across all traces."""
+        for trace in self._traces:
+            for i in range(len(trace) - 1):
+                yield trace[i], trace[i + 1]

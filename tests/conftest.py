@@ -1,0 +1,87 @@
+"""Shared fixtures: small hand-built systems used across test modules.
+
+``cooler``  -- the paper's Fig. 2 example: a Home Climate-Control cooler
+               whose mode follows a temperature threshold.
+``counter`` -- a saturating counter with reset; exercises arithmetic,
+               multi-step reachability and k-induction depth effects.
+``latch``   -- a set/reset latch over Booleans; smallest interesting system.
+"""
+
+import pytest
+
+from repro.expr import BOOL, Var, enum_sort, int_sort, ite, land
+from repro.system import SymbolicSystem, Valuation, make_system
+
+T_THRESH = 30
+
+
+@pytest.fixture
+def cooler() -> SymbolicSystem:
+    """Fig. 2 system: s' = On iff next temperature exceeds the threshold."""
+    temp = Var("temp", int_sort(0, 60))
+    mode = Var("s", enum_sort("Mode", "Off", "On"))
+    next_mode = ite(temp.prime() > T_THRESH, 1, 0)
+    return make_system(
+        name="cooler",
+        state_vars=[mode],
+        input_vars=[temp],
+        init_state={"s": 0},
+        next_exprs={mode: next_mode},
+        input_samples=[{"temp": t} for t in (0, T_THRESH, T_THRESH + 1, 60)],
+    )
+
+
+@pytest.fixture
+def counter() -> SymbolicSystem:
+    """Counter that increments while ``run`` is set, saturates at 5,
+    resets to 0 when ``run`` is dropped."""
+    run = Var("run", BOOL)
+    count = Var("c", int_sort(0, 5))
+    next_count = ite(
+        run.prime(),
+        ite(count < 5, count + 1, count),
+        0,
+    )
+    return make_system(
+        name="counter",
+        state_vars=[count],
+        input_vars=[run],
+        init_state={"c": 0},
+        next_exprs={count: next_count},
+    )
+
+
+@pytest.fixture
+def latch() -> SymbolicSystem:
+    """Set/reset latch; set wins over reset."""
+    set_in = Var("set", BOOL)
+    reset_in = Var("reset", BOOL)
+    q = Var("q", BOOL)
+    next_q = ite(set_in.prime(), True, ite(reset_in.prime(), False, q))
+    return make_system(
+        name="latch",
+        state_vars=[q],
+        input_vars=[set_in, reset_in],
+        init_state={"q": 0},
+        next_exprs={q: next_q},
+    )
+
+
+@pytest.fixture
+def two_phase() -> SymbolicSystem:
+    """Two state variables updated in lock-step; phase ping-pongs, the
+    counter tracks how many full cycles completed (caps at 3)."""
+    phase = Var("phase", enum_sort("Phase", "A", "B"))
+    cycles = Var("cycles", int_sort(0, 3))
+    tick = Var("tick", BOOL)
+    next_phase = ite(tick.prime(), ite(phase.eq("A"), 1, 0), phase)
+    next_cycles = ite(
+        land(tick.prime(), phase.eq("B"), cycles < 3), cycles + 1, cycles
+    )
+    return make_system(
+        name="two_phase",
+        state_vars=[phase, cycles],
+        input_vars=[tick],
+        init_state={"phase": 0, "cycles": 0},
+        next_exprs={phase: next_phase, cycles: next_cycles},
+    )

@@ -1,0 +1,215 @@
+"""Tests for the symbolic NFA: structure, admission, rendering, d-score."""
+
+import pytest
+
+from repro.automata import (
+    SymbolicNFA,
+    Transition,
+    TransitionWitness,
+    guard_label,
+    to_dot,
+    to_text,
+    transition_match_report,
+    transition_match_score,
+)
+from repro.expr import TRUE, Var, enum_sort, int_sort, land, lnot
+from repro.system import Valuation
+from repro.traces import Trace
+
+MODE = Var("s", enum_sort("Mode", "Off", "On"))
+TEMP = Var("temp", int_sort(0, 60))
+
+
+def fig2_nfa() -> SymbolicNFA:
+    """The paper's Fig. 2 abstraction, built by hand."""
+    nfa = SymbolicNFA()
+    q1 = nfa.add_state("Off", initial=True)
+    q2 = nfa.add_state("On")
+    nfa.add_transition(q1, MODE.eq("Off"), q1)
+    nfa.add_transition(q1, land(TEMP > 30, MODE.eq("On")), q2)
+    nfa.add_transition(q2, MODE.eq("On"), q2)
+    nfa.add_transition(q2, land(lnot(TEMP > 30), MODE.eq("Off")), q1)
+    return nfa
+
+
+def obs(temp, s):
+    return Valuation({"temp": temp, "s": s})
+
+
+class TestStructure:
+    def test_states_and_names(self):
+        nfa = fig2_nfa()
+        assert nfa.num_states == 2
+        assert nfa.state_name(0) == "Off"
+        assert nfa.state_by_name("On") == 1
+        assert nfa.state_by_name("nope") is None
+
+    def test_initial_states(self):
+        nfa = fig2_nfa()
+        assert nfa.initial_states == frozenset({0})
+
+    def test_outgoing_incoming(self):
+        nfa = fig2_nfa()
+        assert len(nfa.outgoing(0)) == 2
+        assert len(nfa.incoming(1)) == 2
+
+    def test_duplicate_transition_ignored(self):
+        nfa = SymbolicNFA()
+        q = nfa.add_state(initial=True)
+        nfa.add_transition(q, TRUE, q)
+        nfa.add_transition(q, TRUE, q)
+        assert nfa.num_transitions == 1
+
+    def test_bad_state_rejected(self):
+        nfa = SymbolicNFA()
+        nfa.add_state()
+        with pytest.raises(ValueError):
+            nfa.add_transition(0, TRUE, 5)
+
+    def test_non_bool_guard_rejected(self):
+        nfa = SymbolicNFA()
+        q = nfa.add_state()
+        with pytest.raises(TypeError):
+            nfa.add_transition(q, TEMP, q)
+
+    def test_copy_is_independent(self):
+        nfa = fig2_nfa()
+        dup = nfa.copy()
+        dup.add_state("extra")
+        assert nfa.num_states == 2
+        assert dup.num_states == 3
+        assert dup.initial_states == nfa.initial_states
+
+    def test_variables_mentioned(self):
+        assert fig2_nfa().variables() == {"temp", "s"}
+
+    def test_default_state_name(self):
+        nfa = SymbolicNFA()
+        q = nfa.add_state()
+        assert nfa.state_name(q) == "q0"
+
+
+class TestAdmission:
+    def test_admits_switching_trace(self):
+        nfa = fig2_nfa()
+        trace = Trace([obs(10, 0), obs(45, 1), obs(50, 1), obs(20, 0)])
+        assert nfa.admits(trace)
+
+    def test_rejects_impossible_switch(self):
+        nfa = fig2_nfa()
+        # On with temp <= 30 contradicts the q1->q2 guard.
+        trace = Trace([obs(10, 1)])
+        assert nfa.rejects(trace)
+
+    def test_admits_empty_trace(self):
+        assert fig2_nfa().admits(Trace([]))
+
+    def test_no_initial_state_rejects_everything(self):
+        nfa = SymbolicNFA()
+        nfa.add_state()
+        assert not nfa.admits(Trace([]))
+
+    def test_prefix_closure(self):
+        """If a trace is admitted, all its prefixes are admitted."""
+        nfa = fig2_nfa()
+        trace = Trace([obs(10, 0), obs(45, 1), obs(20, 0), obs(40, 1)])
+        assert nfa.admits(trace)
+        for prefix in trace.prefixes():
+            assert nfa.admits(prefix)
+
+    def test_run_truncates_on_dead_end(self):
+        nfa = fig2_nfa()
+        run = nfa.run(Trace([obs(10, 0), obs(10, 1), obs(20, 0)]))
+        assert run[-1] == set()
+        assert len(run) == 3  # initial, after obs1, dead end at obs2
+
+    def test_admitted_prefix_length(self):
+        nfa = fig2_nfa()
+        trace = Trace([obs(10, 0), obs(10, 1), obs(20, 0)])
+        assert nfa.admitted_prefix_length(trace) == 1
+
+    def test_nondeterministic_admission(self):
+        # Two guards both enabled: admission must follow all branches.
+        nfa = SymbolicNFA()
+        a = nfa.add_state("a", initial=True)
+        b = nfa.add_state("b")
+        c = nfa.add_state("c")
+        nfa.add_transition(a, TRUE, b)
+        nfa.add_transition(a, MODE.eq("On"), c)
+        nfa.add_transition(c, MODE.eq("On"), c)
+        # From a reading On: both b and c reached; from b nothing, from c
+        # only On.  Trace [On, On] must be admitted via c.
+        trace = Trace([obs(0, 1), obs(0, 1)])
+        assert nfa.admits(trace)
+
+    def test_successors(self):
+        nfa = fig2_nfa()
+        assert nfa.successors({0}, obs(45, 1)) == {1}
+        assert nfa.successors({0}, obs(10, 0)) == {0}
+        assert nfa.successors({0, 1}, obs(40, 1)) == {1}
+
+
+class TestRendering:
+    def test_guard_label_primes_state_vars(self):
+        guard = land(TEMP > 30, MODE.eq("On"))
+        label = guard_label(guard, primed_names=["s"])
+        assert "s' = On" in label
+        assert "temp > 30" in label
+        assert "temp'" not in label
+
+    def test_to_text_contains_all_edges(self):
+        text = to_text(fig2_nfa(), title="cooler", primed_names=["s"])
+        assert "cooler: 2 states, 4 transitions" in text
+        assert text.count("-->") == 4
+        assert "s' = On" in text
+
+    def test_to_dot_well_formed(self):
+        dot = to_dot(fig2_nfa(), title="cooler", primed_names=["s"])
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") >= 5  # 4 edges + initial marker
+
+    def test_dot_escapes_quotes(self):
+        nfa = SymbolicNFA()
+        q = nfa.add_state('we"ird', initial=True)
+        nfa.add_transition(q, TRUE, q)
+        dot = to_dot(nfa)
+        assert 'we"ird' in dot or 'we\\"ird' in dot
+
+
+class TestMatchScore:
+    def _witnesses(self):
+        return [
+            TransitionWitness("Off", "Off", "stay", Trace([obs(5, 0)])),
+            TransitionWitness("Off", "On", "heat", Trace([obs(45, 1)])),
+            TransitionWitness(
+                "On", "Off", "cool", Trace([obs(45, 1), obs(5, 0)])
+            ),
+            TransitionWitness(
+                "On", "On", "stay", Trace([obs(45, 1), obs(50, 1)])
+            ),
+        ]
+
+    def test_perfect_model_scores_one(self):
+        assert transition_match_score(fig2_nfa(), self._witnesses()) == 1.0
+
+    def test_partial_model_scores_fraction(self):
+        nfa = SymbolicNFA()
+        q1 = nfa.add_state("Off", initial=True)
+        nfa.add_transition(q1, MODE.eq("Off"), q1)  # only the Off self-loop
+        report = transition_match_report(nfa, self._witnesses())
+        assert report.score == 0.25
+        assert len(report.missing) == 3
+
+    def test_empty_witnesses_score_one(self):
+        assert transition_match_score(fig2_nfa(), []) == 1.0
+
+    def test_report_identifies_missing(self):
+        nfa = SymbolicNFA()
+        q1 = nfa.add_state("Off", initial=True)
+        q2 = nfa.add_state("On")
+        nfa.add_transition(q1, MODE.eq("Off"), q1)
+        nfa.add_transition(q1, MODE.eq("On"), q2)
+        nfa.add_transition(q2, MODE.eq("On"), q2)
+        report = transition_match_report(nfa, self._witnesses())
+        assert [w.label for w in report.missing] == ["cool"]

@@ -1,0 +1,165 @@
+"""Tests for the BDD manager: operations, quantification, counting."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+
+
+@pytest.fixture
+def mgr():
+    return BddManager()
+
+
+class TestBasics:
+    def test_terminals(self, mgr):
+        assert mgr.TRUE == 1 and mgr.FALSE == 0
+
+    def test_var_hash_consing(self, mgr):
+        assert mgr.var(3) == mgr.var(3)
+        assert mgr.var(3) != mgr.var(4)
+
+    def test_negative_index_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.var(-1)
+
+    def test_not_involution(self, mgr):
+        a = mgr.var(0)
+        assert mgr.apply_not(mgr.apply_not(a)) == a
+
+    def test_and_or_units(self, mgr):
+        a = mgr.var(0)
+        assert mgr.apply_and(a, mgr.TRUE) == a
+        assert mgr.apply_and(a, mgr.FALSE) == mgr.FALSE
+        assert mgr.apply_or(a, mgr.FALSE) == a
+        assert mgr.apply_or(a, mgr.TRUE) == mgr.TRUE
+
+    def test_canonicity(self, mgr):
+        """Structurally different constructions of the same function
+        yield the same node (ROBDD canonicity)."""
+        a, b = mgr.var(0), mgr.var(1)
+        de_morgan_left = mgr.apply_not(mgr.apply_and(a, b))
+        de_morgan_right = mgr.apply_or(mgr.apply_not(a), mgr.apply_not(b))
+        assert de_morgan_left == de_morgan_right
+
+    def test_xor_xnor(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        assert mgr.apply_xnor(a, b) == mgr.apply_not(mgr.apply_xor(a, b))
+        assert mgr.apply_xor(a, a) == mgr.FALSE
+
+    def test_ite_shortcuts(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        assert mgr.ite(mgr.TRUE, a, b) == a
+        assert mgr.ite(mgr.FALSE, a, b) == b
+        assert mgr.ite(a, mgr.TRUE, mgr.FALSE) == a
+
+    def test_conjoin_disjoin(self, mgr):
+        vs = [mgr.var(i) for i in range(4)]
+        all_true = mgr.conjoin(vs)
+        assert mgr.evaluate(all_true, lambda i: True)
+        assert not mgr.evaluate(all_true, lambda i: i != 2)
+        any_true = mgr.disjoin(vs)
+        assert mgr.evaluate(any_true, lambda i: i == 3)
+        assert not mgr.evaluate(any_true, lambda i: False)
+
+
+class TestSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_against_truth_table(self, data):
+        """Random 3-variable formulas evaluate like Python booleans."""
+        mgr = BddManager()
+
+        def build(depth):
+            if depth == 0:
+                index = data.draw(st.integers(0, 2))
+                return mgr.var(index), lambda env, i=index: env[i]
+            op = data.draw(st.sampled_from(["and", "or", "not", "xor"]))
+            lhs, lhs_fn = build(depth - 1)
+            if op == "not":
+                return mgr.apply_not(lhs), lambda env: not lhs_fn(env)
+            rhs, rhs_fn = build(depth - 1)
+            if op == "and":
+                return mgr.apply_and(lhs, rhs), lambda env: lhs_fn(env) and rhs_fn(env)
+            if op == "or":
+                return mgr.apply_or(lhs, rhs), lambda env: lhs_fn(env) or rhs_fn(env)
+            return mgr.apply_xor(lhs, rhs), lambda env: lhs_fn(env) != rhs_fn(env)
+
+        node, fn = build(3)
+        for env in itertools.product([False, True], repeat=3):
+            assert mgr.evaluate(node, lambda i: env[i]) == fn(env)
+
+    def test_restrict(self):
+        mgr = BddManager()
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.apply_and(a, b)
+        assert mgr.restrict(f, 0, True) == b
+        assert mgr.restrict(f, 0, False) == mgr.FALSE
+
+    def test_exists(self):
+        mgr = BddManager()
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.apply_and(a, b)
+        assert mgr.exists(f, [0]) == b
+        assert mgr.exists(f, [0, 1]) == mgr.TRUE
+        assert mgr.exists(mgr.FALSE, [0]) == mgr.FALSE
+
+    def test_exists_is_disjunction_of_restrictions(self):
+        mgr = BddManager()
+        a, b, c = mgr.var(0), mgr.var(1), mgr.var(2)
+        f = mgr.apply_or(mgr.apply_and(a, b), mgr.apply_and(mgr.apply_not(a), c))
+        expected = mgr.apply_or(
+            mgr.restrict(f, 1, False), mgr.restrict(f, 1, True)
+        )
+        assert mgr.exists(f, [1]) == expected
+
+    def test_and_exists(self):
+        mgr = BddManager()
+        a, b = mgr.var(0), mgr.var(1)
+        # ∃a. a ∧ (a -> b) == b
+        assert mgr.and_exists(a, mgr.apply_implies(a, b), [0]) == b
+
+    def test_rename(self):
+        mgr = BddManager()
+        f = mgr.apply_and(mgr.var(1), mgr.var(3))
+        renamed = mgr.rename(f, {1: 0, 3: 2})
+        assert renamed == mgr.apply_and(mgr.var(0), mgr.var(2))
+
+    def test_rename_rejects_order_violation(self):
+        mgr = BddManager()
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        with pytest.raises(ValueError):
+            mgr.rename(f, {0: 5, 1: 2})
+
+
+class TestCounting:
+    def test_count_models(self):
+        mgr = BddManager()
+        a, b = mgr.var(0), mgr.var(1)
+        assert mgr.count_models(mgr.TRUE, 2) == 4
+        assert mgr.count_models(mgr.FALSE, 2) == 0
+        assert mgr.count_models(a, 2) == 2
+        assert mgr.count_models(mgr.apply_and(a, b), 2) == 1
+        assert mgr.count_models(mgr.apply_or(a, b), 2) == 3
+        assert mgr.count_models(mgr.apply_xor(a, b), 2) == 2
+
+    def test_count_with_gaps(self):
+        mgr = BddManager()
+        f = mgr.var(2)  # vars 0,1 free
+        assert mgr.count_models(f, 3) == 4
+
+    def test_one_model(self):
+        mgr = BddManager()
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.apply_and(a, mgr.apply_not(b))
+        model = mgr.one_model(f)
+        assert model == {0: True, 1: False}
+        assert mgr.one_model(mgr.FALSE) is None
+
+    def test_size(self):
+        mgr = BddManager()
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.size(f) == 2
+        assert mgr.size(mgr.TRUE) == 0

@@ -1,0 +1,226 @@
+"""Directed semantic checks for the remaining benchmark charts.
+
+Complements tests/test_chart_coverage.py's spot checks: each test drives
+one benchmark through a scenario its MathWorks original documents and
+asserts the authored chart behaves accordingly.
+"""
+
+import pytest
+
+from repro.stateflow.library import get_benchmark
+from repro.traces import guided_trace
+
+
+def _machine(bench, name):
+    return bench.chart.machine_by_name(name)
+
+
+def _index(bench, machine, state):
+    return _machine(bench, machine).state_index(state)
+
+
+class TestControlBenchmarks:
+    def test_bangbang_warmup_dwell(self):
+        bench = get_benchmark("BangBangControlUsingTemporalLogic")
+        system = bench.system
+        state = system.init_state
+        state = system.step(state, {"temp": 5})  # demand -> Warmup
+        assert state["Heater"] == _index(bench, "Heater", "Warmup")
+        state = system.step(state, {"temp": 5})
+        assert state["Heater"] == _index(bench, "Heater", "Warmup")
+        state = system.step(state, {"temp": 5})
+        state = system.step(state, {"temp": 5})
+        assert state["Heater"] == _index(bench, "Heater", "On")
+
+    def test_reuse_states_full_cycle(self):
+        bench = get_benchmark("ReuseStatesByUsingAtomicSubcharts")
+        trace = guided_trace(
+            bench.system, [{"req": r} for r in (1, 2, 1, 0)]
+        )
+        assert [o["Power"] for o in trace] == [1, 2, 1, 0]
+
+    def test_transition_table_fault_latch(self):
+        bench = get_benchmark("StateTransitionMatrixViewForStateTransitionTable")
+        system = bench.system
+        state = system.init_state
+        state = system.step(state, {"temp": 10})  # Off -> LowHeat
+        state = system.step(state, {"temp": 5})   # -> MedHeat
+        state = system.step(state, {"temp": 2})   # -> HighHeat
+        assert state["Mode"] == _index(bench, "Mode", "HighHeat")
+        assert state["power"] == 3
+        state = system.step(state, {"temp": 50})  # overrun -> Fault
+        assert state["Mode"] == _index(bench, "Mode", "Fault")
+        assert state["power"] == 0
+
+    def test_switching_controller_escalates(self):
+        bench = get_benchmark("UsingSimulinkFunctionsToDesignSwitchingControllers")
+        trace = guided_trace(
+            bench.system, [{"err": e} for e in (5, 10, 18, 0, 0, 0)]
+        )
+        modes = [o["Controller"] for o in trace]
+        assert modes == [1, 2, 3, 2, 1, 0]  # P, PI, PID, relax back to Idle
+
+    def test_states_when_enabling_reset_path(self):
+        bench = get_benchmark("StatesWhenEnabling")
+        trace = guided_trace(
+            bench.system, [{"en": e} for e in (1, 0, 0, 0)]
+        )
+        names = ["Disabled", "Enabled", "Held", "Reset"]
+        observed = [
+            _machine(bench, "Enabling").states[o["Enabling"]] for o in trace
+        ]
+        assert observed == ["Enabled", "Held", "Reset", "Disabled"]
+
+
+class TestTimingBenchmarks:
+    def test_temporal_scheduler_rates(self):
+        bench = get_benchmark("TemporalLogicScheduler")
+        system = bench.system
+        state = system.init_state
+        state = system.step(state, {"run": 1})
+        assert state["Rate"] == _index(bench, "Rate", "Fast")
+        # Fast holds for after(2): one more tick, then Medium.
+        state = system.step(state, {"run": 1})
+        assert state["Rate"] == _index(bench, "Rate", "Fast")
+        state = system.step(state, {"run": 1})
+        assert state["Rate"] == _index(bench, "Rate", "Medium")
+
+    def test_simulink_scheduler_cycle(self):
+        bench = get_benchmark("SchedulingSimulinkAlgorithmsUsingStateflow")
+        system = bench.system
+        state = system.init_state
+        seen = []
+        for _ in range(16):
+            state = system.step(state, {"run": 1})
+            seen.append(state["Sched"])
+        assert set(seen) == {0, 1, 2}  # all three algorithms scheduled
+
+    def test_superstep_variants_differ(self):
+        bench = get_benchmark("Superstep")
+        trace = guided_trace(bench.system, [{"step": 1}] * 6)
+        with_super = {o["WithSuper"] for o in trace}
+        without = [o["Without"] for o in trace]
+        assert with_super == {0}  # collapsed fixpoint: one visible state
+        assert without == [1, 2, 0, 1, 2, 0]  # one microstep per tick
+
+
+class TestSignalBenchmarks:
+    def test_karplus_strong_pipeline(self):
+        bench = get_benchmark("KarplusStrongAlgorithmUsingStateflow")
+        system = bench.system
+        state = system.init_state
+        state = system.step(state, {"excite": 1})  # pluck -> Fill
+        assert state["DelayLine"] == _index(bench, "DelayLine", "Fill")
+        for _ in range(16):
+            state = system.step(state, {"excite": 1})
+        assert state["DelayLine"] == _index(bench, "DelayLine", "Shift")
+        state = system.step(state, {"excite": 1})
+        assert state["MovingAverage"] == _index(bench, "MovingAverage", "Average")
+
+    def test_ladder_requires_exact_sequence(self):
+        bench = get_benchmark("LadderLogicScheduler")
+        good = guided_trace(
+            bench.system,
+            [{"a": 1, "b": 0}, {"a": 1, "b": 1}, {"a": 0, "b": 1},
+             {"a": 0, "b": 0}],
+        )
+        assert [o["Ladder"] for o in good] == [1, 2, 3, 0]
+        # Dropping contact a midway breaks the rung chain.
+        broken = guided_trace(
+            bench.system, [{"a": 1, "b": 0}, {"a": 0, "b": 0}]
+        )
+        assert broken[-1]["Ladder"] == 0
+
+    def test_var_size_ramp(self):
+        bench = get_benchmark("VarSize")
+        trace = guided_trace(
+            bench.system, [{"sel": s} for s in (1, 2, 3, 3)]
+        )
+        assert [o["len"] for o in trace] == [4, 8, 16, 16]
+        assert trace[-1]["Proc"] == _index(bench, "Proc", "Mean")
+
+
+class TestSafetyBenchmarks:
+    def test_launch_abort_nominal_mission(self):
+        bench = get_benchmark("ModelingALaunchAbortSystem")
+        inputs = [{"cmd": 1, "fail": 0}] + [{"cmd": 0, "fail": 0}] * 9
+        trace = guided_trace(bench.system, inputs)
+        assert trace[-1]["Overall"] == _index(bench, "Overall", "Done")
+        assert trace[-1]["AbortLogic"] == _index(bench, "AbortLogic", "Monitor")
+
+    def test_launch_abort_low_altitude_abort(self):
+        bench = get_benchmark("ModelingALaunchAbortSystem")
+        inputs = [
+            {"cmd": 1, "fail": 0},
+            {"cmd": 0, "fail": 0},
+            {"cmd": 2, "fail": 0},  # abort early in ascent
+        ]
+        trace = guided_trace(bench.system, inputs)
+        assert trace[-1]["AbortLogic"] == _index(bench, "AbortLogic", "LowAbort")
+        assert trace[-1]["Overall"] == _index(bench, "Overall", "AbortMode")
+
+    def test_redundant_sensor_failover(self):
+        bench = get_benchmark("ModelingARedundantSensorPairUsingAtomicSubchart")
+        system = bench.system
+        state = system.init_state
+        state = system.step(state, {"s1": 45, "s2": 55})
+        assert state["Selector"] == _index(bench, "Selector", "UseS1")
+        assert state["out"] == 45
+        state = system.step(state, {"s1": 100, "s2": 55})  # s1 fails
+        assert state["Selector"] == _index(bench, "Selector", "UseS2")
+        state = system.step(state, {"s1": 100, "s2": 55})
+        assert state["out"] == 55
+
+    def test_yoyo_deployment(self):
+        bench = get_benchmark("YoYoControlOfSatellite")
+        system = bench.system
+        state = system.init_state
+        state = system.step(state, {"spin": 15, "go": 1})
+        assert state["Control"] == _index(bench, "Control", "Active")
+        assert state["released"] == 1
+        assert state["Reel"] == _index(bench, "Reel", "Out")
+
+
+class TestCdPlayer:
+    def test_power_and_source_selection(self):
+        bench = get_benchmark("ModelingACdPlayerradioUsingEnumeratedDataType")
+        system = bench.system
+        quiet = {"power": 1, "src": 0, "insert": 0, "eject": 0, "play": 0,
+                 "stop": 0}
+        state = system.init_state
+        state = system.step(state, quiet)  # power on -> FM
+        assert state["PowerMode"] == 1
+        assert state["ModeManager"] == _index(bench, "ModeManager", "FM")
+        state = system.step(state, {**quiet, "src": 1})
+        assert state["ModeManager"] == _index(bench, "ModeManager", "AM")
+
+    def test_cd_requires_disc(self):
+        bench = get_benchmark("ModelingACdPlayerradioUsingEnumeratedDataType")
+        system = bench.system
+        base = {"power": 1, "src": 2, "insert": 0, "eject": 0, "play": 0,
+                "stop": 0}
+        state = system.init_state
+        state = system.step(state, base)
+        # No disc: CD request cannot be honoured.
+        assert state["ModeManager"] != _index(bench, "ModeManager", "CD")
+        # Insert a disc and wait for it to seat.
+        state = system.step(state, {**base, "insert": 1})
+        for _ in range(4):
+            state = system.step(state, base)
+        assert state["disc"] == 1
+        state = system.step(state, base)
+        assert state["ModeManager"] == _index(bench, "ModeManager", "CD")
+
+    def test_playback_needs_cd_mode_and_disc(self):
+        bench = get_benchmark("ModelingACdPlayerradioUsingEnumeratedDataType")
+        system = bench.system
+        base = {"power": 1, "src": 2, "insert": 0, "eject": 0, "play": 0,
+                "stop": 0}
+        state = system.init_state
+        state = system.step(state, base)
+        state = system.step(state, {**base, "insert": 1})
+        for _ in range(5):
+            state = system.step(state, base)
+        state = system.step(state, {**base, "play": 1})
+        assert state["Playback"] == _index(bench, "Playback", "Playing")
+        assert state["track"] == 1

@@ -1,0 +1,141 @@
+"""Tests for structural chart coverage, plus benchmark semantics checks."""
+
+import pytest
+
+from repro.stateflow import measure_chart_coverage
+from repro.stateflow.library import get_benchmark
+from repro.traces import TraceSet, guided_trace, random_traces
+
+
+class TestChartCoverage:
+    def test_empty_suite_covers_nothing(self):
+        bench = get_benchmark("MealyVendingMachine")
+        coverage = measure_chart_coverage(bench, TraceSet())
+        assert coverage.transition_coverage == 0.0
+        # The initial state counts as visited.
+        assert 0 < coverage.state_coverage < 1.0
+
+    def test_directed_trace_covers_exact_transitions(self):
+        bench = get_benchmark("MealyVendingMachine")
+        # nickel, nickel, nickel -> Zero->Five->Ten->Fifteen.
+        suite = TraceSet([guided_trace(bench.system, [{"coin": 1}] * 3)])
+        coverage = measure_chart_coverage(bench, suite)
+        vend = coverage.machines["Vend"]
+        assert vend.transitions_fired == {"n0", "n5", "n10"}
+        assert vend.states_visited == {"Zero", "Five", "Ten", "Fifteen"}
+
+    def test_rich_suite_reaches_full_coverage(self):
+        bench = get_benchmark("MealyVendingMachine")
+        suite = random_traces(bench.system, count=40, length=20, seed=0)
+        coverage = measure_chart_coverage(bench, suite)
+        assert coverage.transition_coverage == 1.0
+        assert coverage.state_coverage == 1.0
+        assert coverage.uncovered_transitions() == []
+
+    def test_uncovered_transitions_named(self):
+        bench = get_benchmark("MealyVendingMachine")
+        suite = TraceSet([guided_trace(bench.system, [{"coin": 1}])])
+        coverage = measure_chart_coverage(bench, suite)
+        missing = coverage.uncovered_transitions()
+        assert "Vend:d5" in missing
+        assert "Vend:n0" not in missing
+
+    def test_multi_machine_chart(self):
+        bench = get_benchmark("HomeClimateControlUsingTheTruthtableBlock")
+        suite = random_traces(bench.system, count=30, length=20, seed=1)
+        coverage = measure_chart_coverage(bench, suite)
+        assert set(coverage.machines) == {"Cooler", "Heater"}
+        assert coverage.machines["Cooler"].transition_coverage == 1.0
+
+
+class TestBenchmarkSemantics:
+    """Spot-check the authored dynamics against the documented examples."""
+
+    def test_vending_machine_dispenses_at_fifteen(self):
+        bench = get_benchmark("MealyVendingMachine")
+        trace = guided_trace(
+            bench.system, [{"coin": 2}, {"coin": 1}, {"coin": 0}]
+        )
+        # dime -> Ten, nickel -> Fifteen, anything -> dispense (Zero).
+        assert [obs["Vend"] for obs in trace] == [2, 3, 0]
+
+    def test_moore_light_cycles(self):
+        bench = get_benchmark("MooreTrafficLight")
+        system = bench.system
+        light = system.var_by_name("Light")
+        state = system.init_state
+        seen = [state["Light"]]
+        for _ in range(40):
+            state = system.step(state, {"sensor": 0})
+            seen.append(state["Light"])
+        # Without sensor demand the light cycles through every phase but
+        # GreenHold (index 3, sensor-extended only).
+        assert set(seen) == {0, 1, 2, 4, 5, 6}
+
+    def test_sequence_detector_hits_on_1101(self):
+        bench = get_benchmark("SequenceRecognitionUsingMealyAndMooreChart")
+        trace = guided_trace(
+            bench.system, [{"bit": b} for b in (1, 1, 0, 1)]
+        )
+        detect = bench.chart.machine_by_name("Detect")
+        assert trace[-1]["Detect"] == detect.state_index("Hit")
+
+    def test_sequence_detector_overlap(self):
+        bench = get_benchmark("SequenceRecognitionUsingMealyAndMooreChart")
+        # 1101101: two overlapping hits.
+        bits = (1, 1, 0, 1, 1, 0, 1)
+        trace = guided_trace(bench.system, [{"bit": b} for b in bits])
+        detect = bench.chart.machine_by_name("Detect")
+        hits = [
+            i for i, obs in enumerate(trace)
+            if obs["Detect"] == detect.state_index("Hit")
+        ]
+        assert hits == [3, 6]
+
+    def test_server_queue_balance(self):
+        bench = get_benchmark("ServerQueueingSystem")
+        system = bench.system
+        state = system.init_state
+        state = system.step(state, {"arrive": 1, "depart": 0})
+        assert state["Server"] == 1 and state["q"] == 1
+        for _ in range(12):
+            state = system.step(state, {"arrive": 1, "depart": 0})
+        assert state["Server"] == 2 and state["q"] == 10  # Full, capped
+        state = system.step(state, {"arrive": 0, "depart": 1})
+        assert state["Server"] == 1 and state["q"] == 9
+
+    def test_frame_sync_locks_and_drops(self):
+        bench = get_benchmark("FrameSyncController")
+        system = bench.system
+        state = system.init_state
+        # Marker + 3 confirm bits locks the synchroniser.
+        for _ in range(4):
+            state = system.step(state, {"bit": 1})
+        assert state["Sync"] == 2  # Locked
+
+    def test_transmission_requires_dwell(self):
+        bench = get_benchmark("AutomaticTransmissionUsingDurationOperator")
+        system = bench.system
+        state = system.init_state
+        state = system.step(state, {"speed": 30, "throttle": 50})
+        assert state["Gear"] == 1  # First
+        # High speed alone must not shift immediately: duration operator.
+        state = system.step(state, {"speed": 30, "throttle": 50})
+        assert state["Gear"] == 1
+        state = system.step(state, {"speed": 30, "throttle": 50})
+        state = system.step(state, {"speed": 30, "throttle": 50})
+        assert state["Gear"] == 2  # Second, after the dwell
+
+    def test_security_system_entry_delay(self):
+        bench = get_benchmark("ModelingASecuritySystem")
+        system = bench.system
+        quiet = {"arm": 0, "disarm": 0, "door": 0, "win": 0, "motion": 0}
+        state = system.init_state
+        state = system.step(state, {**quiet, "arm": 1})
+        assert state["Alarm"] == 1  # armed
+        state = system.step(state, {**quiet, "door": 1})
+        assert state["AlarmOn"] == 1  # Entry delay running
+        assert state["siren"] == 0
+        for _ in range(4):
+            state = system.step(state, {**quiet, "door": 1})
+        assert state["siren"] == 1  # timed out into Siren

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "MealyVendingMachine"])
+        assert args.traces == 50
+        assert args.budget == 120.0
+
+    def test_table1_subset(self):
+        args = build_parser().parse_args(["table1", "CountEvents", "--budget", "5"])
+        assert args.benchmarks == ["CountEvents"]
+        assert args.budget == 5.0
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "MealyVendingMachine" in out
+        assert "FSAs:" in out
+
+    def test_run_small_benchmark(self, capsys):
+        code = main(
+            ["run", "MealyVendingMachine", "--traces", "10", "--length", "10",
+             "--budget", "30", "--invariants"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MealyVendingMachine" in out
+        assert "Invariants:" in out
+
+    def test_run_with_dot_export(self, tmp_path, capsys):
+        dot_path = tmp_path / "model.dot"
+        code = main(
+            ["run", "MonitorTestPointsInStateflowChart", "--traces", "5",
+             "--length", "5", "--budget", "30", "--dot", str(dot_path)]
+        )
+        assert code == 0
+        content = dot_path.read_text()
+        assert content.startswith("digraph")
+
+    def test_run_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["run", "NoSuchBenchmark"])
+
+    def test_run_specific_fsa(self, capsys):
+        code = main(
+            ["run", "Superstep", "--fsa", "WithoutSuperStep",
+             "--traces", "5", "--length", "5", "--budget", "30"]
+        )
+        assert code == 0
+        assert "WithoutSuperStep" in capsys.readouterr().out
+
+    def test_baseline_command(self, capsys):
+        code = main(
+            ["baseline", "MealyVendingMachine", "--observations", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MealyVendingMachine" in out
+
+    def test_table1_single_benchmark(self, capsys):
+        code = main(
+            ["table1", "CountEvents", "--traces", "5", "--length", "10",
+             "--budget", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I (active algorithm):" in out
+        assert "CountEvents" in out
+
+    def test_table1_with_baseline(self, capsys):
+        code = main(
+            ["table1", "MonitorTestPointsInStateflowChart", "--traces", "5",
+             "--length", "5", "--budget", "30", "--baseline",
+             "--observations", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "random-sampling baseline" in out

@@ -1,0 +1,141 @@
+"""Tests for the evaluation runners (Table I row generation)."""
+
+import pytest
+
+from repro.core import BaselineRow, TableRow, format_baseline_table, format_table
+from repro.evaluation import (
+    default_learner,
+    fsa_witnesses,
+    run_active,
+    run_random_baseline,
+)
+from repro.stateflow.library import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def vending():
+    return get_benchmark("MealyVendingMachine")
+
+
+class TestRunActive:
+    def test_row_fields(self, vending):
+        out = run_active(
+            vending, vending.fsas[0], initial_traces=10, trace_length=10,
+            budget_seconds=30,
+        )
+        row = out.row
+        assert row.benchmark == "MealyVendingMachine"
+        assert row.fsa == "Vend"
+        assert row.num_observables == 2
+        assert row.k == 10
+        assert row.alpha == 1.0
+        assert out.d == 1.0
+        assert row.num_states == 4
+        assert not row.timed_out
+
+    def test_deterministic_given_seed(self, vending):
+        first = run_active(
+            vending, vending.fsas[0], initial_traces=5, trace_length=5, seed=3,
+            budget_seconds=30,
+        )
+        second = run_active(
+            vending, vending.fsas[0], initial_traces=5, trace_length=5, seed=3,
+            budget_seconds=30,
+        )
+        assert first.row.num_states == second.row.num_states
+        assert first.row.iterations == second.row.iterations
+        assert first.result.model.transitions == second.result.model.transitions
+
+    def test_unguided_mode(self, vending):
+        out = run_active(
+            vending, vending.fsas[0], initial_traces=10, trace_length=10,
+            budget_seconds=30, guide_with_reachable=False,
+        )
+        assert out.row.alpha == 1.0
+
+    def test_custom_learner(self, vending):
+        from repro.learn import KTailsLearner
+
+        learner = KTailsLearner(
+            k=1,
+            mode_vars=["Vend"],
+            variables={v.name: v for v in vending.system.variables},
+        )
+        out = run_active(
+            vending, vending.fsas[0], initial_traces=10, trace_length=10,
+            budget_seconds=30, learner=learner,
+        )
+        assert 0 < out.row.alpha <= 1.0
+
+
+class TestBaseline:
+    def test_row_fields(self, vending):
+        out = run_random_baseline(
+            vending, vending.fsas[0], num_observations=500
+        )
+        assert out.row.num_states >= 1
+        assert 0.0 <= out.alpha <= 1.0
+        assert out.row.time_seconds > 0
+
+    def test_tiny_budget_misses_behaviour(self):
+        bench = get_benchmark("FrameSyncController")
+        out = run_random_baseline(bench, bench.fsas[0], num_observations=200)
+        assert out.alpha < 1.0
+
+
+class TestWitnesses:
+    def test_fsa_witnesses_counts(self, vending):
+        witnesses = fsa_witnesses(vending, vending.fsas[0])
+        assert len(witnesses) == 7  # authored chart transitions
+
+    def test_ground_truth_cached(self, vending):
+        first = vending.ground_truth(vending.fsas[0])
+        second = vending.ground_truth(vending.fsas[0])
+        assert first[0] is second[0]
+
+    def test_default_learner_uses_fsa_modes(self, vending):
+        learner = default_learner(vending, vending.fsas[0])
+        assert learner._mode_vars == ["Vend"]
+
+
+class TestRowFormatting:
+    def test_table_row_format(self):
+        row = TableRow(
+            benchmark="B", fsa="F", num_observables=3, k=10, iterations=2,
+            d=1.0, num_states=4, alpha=0.5, time_seconds=1.25,
+            percent_learning=12.5,
+        )
+        text = row.format()
+        assert "B" in text and "F" in text
+        assert "0.5" in text and "1.2" in text
+
+    def test_timeout_rendering(self):
+        row = TableRow(
+            benchmark="B", fsa="F", num_observables=3, k=10, iterations=2,
+            d=0.0, num_states=1, alpha=0.0, time_seconds=999.0,
+            percent_learning=1.0, timed_out=True,
+        )
+        assert "timeout" in row.format()
+
+    def test_baseline_fail_rendering(self):
+        row = BaselineRow(
+            benchmark="B", fsa="F", num_states=0, alpha=0.0,
+            time_seconds=0.0, failed=True,
+        )
+        assert "fail" in row.format()
+
+    def test_format_table_includes_header(self):
+        row = TableRow(
+            benchmark="B", fsa="F", num_observables=3, k=10, iterations=1,
+            d=1.0, num_states=2, alpha=1.0, time_seconds=0.1,
+            percent_learning=50.0,
+        )
+        table = format_table([row])
+        assert table.splitlines()[0] == TableRow.HEADER
+
+    def test_format_baseline_table(self):
+        row = BaselineRow(
+            benchmark="B", fsa="F", num_states=3, alpha=0.8, time_seconds=2.0
+        )
+        table = format_baseline_table([row])
+        assert "0.8" in table

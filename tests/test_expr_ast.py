@@ -1,0 +1,303 @@
+"""Unit tests for the expression IR: construction, folding, traversal."""
+
+import pytest
+
+from repro.expr import (
+    BOOL,
+    Add,
+    And,
+    Const,
+    EnumSort,
+    Eq,
+    FALSE,
+    IntSort,
+    Lt,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    add,
+    coerce,
+    enum_const,
+    enum_sort,
+    eq,
+    free_vars,
+    ge,
+    gt,
+    iff,
+    implies,
+    int_constants,
+    int_sort,
+    interval,
+    ite,
+    land,
+    le,
+    lnot,
+    lor,
+    lt,
+    maximum,
+    minimum,
+    mul,
+    ne,
+    neg,
+    sub,
+)
+
+
+@pytest.fixture
+def x():
+    return Var("x", int_sort(0, 100))
+
+
+@pytest.fixture
+def y():
+    return Var("y", int_sort(-10, 10))
+
+
+@pytest.fixture
+def flag():
+    return Var("flag", BOOL)
+
+
+class TestSorts:
+    def test_int_sort_cardinality(self):
+        assert int_sort(0, 9).cardinality == 10
+
+    def test_int_sort_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            int_sort(5, 4)
+
+    def test_enum_members(self):
+        sort = enum_sort("Mode", "Off", "On")
+        assert sort.index_of("On") == 1
+        assert sort.member_name(0) == "Off"
+
+    def test_enum_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            enum_sort("M", "A", "A")
+
+    def test_enum_rejects_unknown_member(self):
+        with pytest.raises(ValueError):
+            enum_sort("M", "A").index_of("B")
+
+    def test_enum_rejects_empty(self):
+        with pytest.raises(ValueError):
+            enum_sort("M")
+
+    def test_clamp(self):
+        sort = int_sort(0, 5)
+        assert sort.clamp(-3) == 0
+        assert sort.clamp(9) == 5
+        assert sort.clamp(2) == 2
+
+
+class TestConstruction:
+    def test_coerce_int(self):
+        expr = coerce(5)
+        assert isinstance(expr, Const)
+        assert expr.value == 5
+        assert interval(expr) == (5, 5)
+
+    def test_coerce_bool(self):
+        assert coerce(True) == TRUE
+        assert coerce(False) == FALSE
+
+    def test_structural_equality(self, x):
+        assert Var("x", int_sort(0, 100)) == x
+        assert Var("y", int_sort(0, 100)) != x
+
+    def test_hashable(self, x, y):
+        table = {x: 1, y: 2}
+        assert table[Var("x", int_sort(0, 100))] == 1
+
+    def test_enum_const(self):
+        sort = enum_sort("Mode", "Off", "On")
+        assert enum_const(sort, "On").value == 1
+
+    def test_bool_const_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Const(2, BOOL)
+
+    def test_enum_const_rejects_out_of_range(self):
+        sort = enum_sort("Mode", "Off", "On")
+        with pytest.raises(ValueError):
+            Const(7, sort)
+
+
+class TestBooleanConstructors:
+    def test_land_flattens(self, flag):
+        other = Var("g", BOOL)
+        expr = land(land(flag, other), flag)
+        assert isinstance(expr, And)
+        assert expr.args == (flag, other)
+
+    def test_land_identity(self, flag):
+        assert land(TRUE, flag) == flag
+        assert land() == TRUE
+
+    def test_land_annihilator(self, flag):
+        assert land(flag, FALSE) == FALSE
+
+    def test_lor_flattens(self, flag):
+        other = Var("g", BOOL)
+        expr = lor(lor(flag, other), other)
+        assert isinstance(expr, Or)
+        assert expr.args == (flag, other)
+
+    def test_lor_identity(self, flag):
+        assert lor(FALSE, flag) == flag
+        assert lor() == FALSE
+
+    def test_lor_annihilator(self, flag):
+        assert lor(flag, TRUE) == TRUE
+
+    def test_lnot_involution(self, flag):
+        assert lnot(lnot(flag)) == flag
+        assert lnot(TRUE) == FALSE
+
+    def test_implies_short_circuits(self, flag):
+        assert implies(FALSE, flag) == TRUE
+        assert implies(TRUE, flag) == flag
+        assert implies(flag, TRUE) == TRUE
+        assert implies(flag, FALSE) == lnot(flag)
+
+    def test_iff_simplifications(self, flag):
+        assert iff(flag, flag) == TRUE
+        assert iff(flag, TRUE) == flag
+        assert iff(FALSE, flag) == lnot(flag)
+
+    def test_operator_overloads(self, flag):
+        other = Var("g", BOOL)
+        assert (flag & other) == land(flag, other)
+        assert (flag | other) == lor(flag, other)
+        assert (~flag) == lnot(flag)
+
+    def test_bool_operands_required(self, x, flag):
+        with pytest.raises(TypeError):
+            land(flag, x)
+
+
+class TestComparisons:
+    def test_eq_folds_constants(self):
+        assert eq(3, 3) == TRUE
+        assert eq(3, 4) == FALSE
+
+    def test_eq_same_expr(self, x):
+        assert eq(x, x) == TRUE
+
+    def test_eq_builds_node(self, x):
+        expr = x.eq(5)
+        assert isinstance(expr, Eq)
+
+    def test_eq_enum_member_by_name(self):
+        sort = enum_sort("Mode", "Off", "On")
+        mode = Var("mode", sort)
+        expr = mode.eq("On")
+        assert isinstance(expr, Eq)
+        assert expr.rhs == Const(1, sort)
+
+    def test_ne(self, x):
+        assert ne(x, 5) == lnot(eq(x, 5))
+
+    def test_lt_interval_folding(self, x):
+        # x in [0,100]: x < 200 is always true, x < 0 always false.
+        assert lt(x, 200) == TRUE
+        assert lt(x, 0) == FALSE
+        assert isinstance(lt(x, 50), Lt)
+
+    def test_gt_ge_desugar(self, x):
+        assert gt(x, 5) == lt(coerce(5), x)
+        assert ge(x, 5) == le(coerce(5), x)
+
+    def test_comparison_overloads(self, x):
+        assert (x < 5) == lt(x, 5)
+        assert (x > 5) == gt(x, 5)
+        assert (x <= 5) == le(x, 5)
+        assert (x >= 5) == ge(x, 5)
+
+    def test_eq_sort_mismatch_raises(self, x, flag):
+        with pytest.raises(TypeError):
+            eq(x, flag)
+
+
+class TestArithmetic:
+    def test_add_folds_constants(self):
+        assert add(2, 3) == Const(5, int_sort(5, 5))
+
+    def test_add_interval(self, x, y):
+        expr = add(x, y)
+        assert interval(expr) == (-10, 110)
+
+    def test_add_drops_zero(self, x):
+        assert add(x, 0) == x
+
+    def test_sub_interval(self, x, y):
+        expr = sub(x, y)
+        assert interval(expr) == (-10, 110)
+
+    def test_sub_zero(self, x):
+        assert sub(x, 0) == x
+
+    def test_neg_interval(self, x):
+        assert interval(neg(x)) == (-100, 0)
+
+    def test_mul_identity_and_zero(self, x):
+        assert mul(x, 1) == x
+        assert mul(x, 0) == Const(0, int_sort(0, 0))
+
+    def test_mul_interval_corners(self, y):
+        expr = mul(y, y)
+        assert interval(expr) == (-100, 100)
+
+    def test_arith_overloads(self, x, y):
+        assert (x + y) == add(x, y)
+        assert (x - y) == sub(x, y)
+        assert (x * 2) == mul(x, coerce(2))
+        assert (-x) == neg(x)
+
+    def test_arith_rejects_bool(self, flag):
+        with pytest.raises(TypeError):
+            add(flag, 1)
+
+
+class TestIte:
+    def test_ite_const_cond(self, x, y):
+        assert ite(TRUE, x, y) == x
+        assert ite(FALSE, x, y) == y
+
+    def test_ite_same_branches(self, x, flag):
+        assert ite(flag, x, x) == x
+
+    def test_ite_interval_union(self, x, y, flag):
+        expr = ite(flag, x, y)
+        assert interval(expr) == (-10, 100)
+
+    def test_minimum_maximum(self, x, y):
+        env = {"x": 5, "y": -3}
+        from repro.expr import evaluate
+
+        assert evaluate(minimum(x, y), env) == -3
+        assert evaluate(maximum(x, y), env) == 5
+
+
+class TestTraversal:
+    def test_free_vars(self, x, y, flag):
+        expr = ite(flag, x + y, x)
+        assert free_vars(expr) == {x, y, flag}
+
+    def test_int_constants(self, x):
+        expr = land(x > 5, x.eq(17))
+        assert int_constants(expr) == {5, 17}
+
+    def test_primed_var_roundtrip(self, x):
+        primed = x.prime()
+        assert primed.qualified_name == "x'"
+        assert primed.unprime() == x
+
+    def test_double_prime_rejected(self, x):
+        with pytest.raises(ValueError):
+            x.prime().prime()
+
+    def test_unprime_unprimed_rejected(self, x):
+        with pytest.raises(ValueError):
+            x.unprime()

@@ -1,0 +1,156 @@
+"""Tests for trace-inclusion verification and bisimulation minimisation."""
+
+import pytest
+
+from repro.automata import (
+    SymbolicNFA,
+    check_trace_inclusion,
+    minimize_bisimulation,
+    verify_theorem1,
+)
+from repro.core import ActiveLearner
+from repro.expr import TRUE, Var, enum_sort, int_sort, land, lnot
+from repro.learn import T2MLearner
+from repro.traces import random_traces
+
+MODE = Var("s", enum_sort("Mode", "Off", "On"))
+TEMP = Var("temp", int_sort(0, 60))
+
+
+def fig2_nfa():
+    nfa = SymbolicNFA()
+    q1 = nfa.add_state("Off", initial=True)
+    q2 = nfa.add_state("On")
+    nfa.add_transition(q1, MODE.eq("Off"), q1)
+    nfa.add_transition(q1, land(TEMP > 30, MODE.eq("On")), q2)
+    nfa.add_transition(q2, MODE.eq("On"), q2)
+    nfa.add_transition(q2, land(lnot(TEMP > 30), MODE.eq("Off")), q1)
+    return nfa
+
+
+class TestTraceInclusion:
+    def test_complete_model_included(self, cooler):
+        result = check_trace_inclusion(cooler, fig2_nfa())
+        assert result.included
+        assert result.counterexample is None
+        assert result.product_states >= 2
+
+    def test_incomplete_model_counterexample(self, cooler):
+        nfa = SymbolicNFA()
+        q1 = nfa.add_state("Off", initial=True)
+        nfa.add_transition(q1, MODE.eq("Off"), q1)  # never switches on
+        result = check_trace_inclusion(cooler, nfa)
+        assert not result.included
+        trace = result.counterexample
+        # The counterexample is a genuine execution the model rejects.
+        assert cooler.is_execution(list(trace))
+        assert not nfa.admits(trace)
+        assert trace[-1]["s"] == 1
+
+    def test_counterexample_is_shortest(self, cooler):
+        nfa = SymbolicNFA()
+        q1 = nfa.add_state("Off", initial=True)
+        nfa.add_transition(q1, MODE.eq("Off"), q1)
+        result = check_trace_inclusion(cooler, nfa)
+        assert len(result.counterexample) == 1  # hot first input suffices
+
+    def test_no_initial_state(self, cooler):
+        nfa = SymbolicNFA()
+        nfa.add_state("lonely")
+        result = check_trace_inclusion(cooler, nfa)
+        assert not result.included
+        assert len(result.counterexample) == 0
+
+    def test_budget(self, cooler):
+        with pytest.raises(RuntimeError, match="product exploration"):
+            check_trace_inclusion(cooler, fig2_nfa(), max_product_states=1)
+
+    def test_verifies_active_learning_output(self, counter):
+        """Theorem 1, verified independently of the condition checker."""
+        learner = T2MLearner(
+            mode_vars=list(counter.state_names),
+            variables={v.name: v for v in counter.variables},
+        )
+        result = ActiveLearner(counter, learner, k=6).run(
+            random_traces(counter, count=5, length=5, seed=1)
+        )
+        assert result.converged
+        assert verify_theorem1(counter, result.model)
+
+    def test_catches_unconverged_models(self, counter):
+        learner = T2MLearner(
+            mode_vars=list(counter.state_names),
+            variables={v.name: v for v in counter.variables},
+        )
+        model = learner.learn(random_traces(counter, count=1, length=1, seed=0))
+        result = check_trace_inclusion(counter, model)
+        assert not result.included
+
+
+@pytest.mark.parametrize("name", [
+    "MealyVendingMachine",
+    "HomeClimateControlUsingTheTruthtableBlock",
+    "MooreTrafficLight",
+    "ServerQueueingSystem",
+])
+def test_theorem1_on_benchmarks(name):
+    """End-to-end: active learning output passes the independent check."""
+    from repro.evaluation import run_active
+    from repro.stateflow.library import get_benchmark
+
+    bench = get_benchmark(name)
+    out = run_active(
+        bench, bench.fsas[0], initial_traces=15, trace_length=15,
+        budget_seconds=60,
+    )
+    assert out.result.converged
+    inclusion = verify_theorem1(bench.system, out.result.model)
+    assert inclusion.included, f"{name}: {inclusion.counterexample}"
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        # Two copies of the same On state.
+        nfa = SymbolicNFA()
+        off = nfa.add_state("Off", initial=True)
+        on1 = nfa.add_state("On1")
+        on2 = nfa.add_state("On2")
+        nfa.add_transition(off, MODE.eq("Off"), off)
+        nfa.add_transition(off, MODE.eq("On"), on1)
+        nfa.add_transition(off, MODE.eq("On"), on2)
+        nfa.add_transition(on1, MODE.eq("Off"), off)
+        nfa.add_transition(on2, MODE.eq("Off"), off)
+        minimized = minimize_bisimulation(nfa)
+        assert minimized.num_states == 2
+
+    def test_preserves_distinct_behaviour(self):
+        nfa = fig2_nfa()
+        minimized = minimize_bisimulation(nfa)
+        assert minimized.num_states == 2  # already minimal
+
+    def test_language_preserved_on_probes(self, cooler):
+        nfa = fig2_nfa()
+        minimized = minimize_bisimulation(nfa)
+        probes = random_traces(cooler, count=30, length=10, seed=9)
+        for trace in probes:
+            assert nfa.admits(trace) == minimized.admits(trace)
+
+    def test_initial_states_preserved(self):
+        nfa = fig2_nfa()
+        minimized = minimize_bisimulation(nfa)
+        assert len(minimized.initial_states) == 1
+
+    def test_empty_nfa(self):
+        assert minimize_bisimulation(SymbolicNFA()).num_states == 0
+
+    def test_does_not_merge_semantically_distinct(self):
+        nfa = SymbolicNFA()
+        a = nfa.add_state("a", initial=True)
+        b = nfa.add_state("b")
+        c = nfa.add_state("c")
+        nfa.add_transition(a, MODE.eq("Off"), b)
+        nfa.add_transition(a, MODE.eq("On"), c)
+        nfa.add_transition(b, TRUE, b)
+        # c is a dead end, b loops: must not merge.
+        minimized = minimize_bisimulation(nfa)
+        assert minimized.num_states == 3

@@ -1,0 +1,125 @@
+"""Tests for the incremental condition checker and checker guidance.
+
+The incremental checker must be observationally identical to the
+one-shot :func:`check_condition`; hypothesis drives that comparison over
+random assumptions/conclusions.  Rollback must leave no residue between
+queries, and base constraints must restrict counterexamples.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import FALSE, TRUE, Var, eq, holds, int_sort, land, lnot, lor
+from repro.mc import check_condition, reachable_formula, shared_reachability
+from repro.mc.condition_check import IncrementalConditionChecker
+
+
+class TestEquivalence:
+    def test_holding_condition(self, cooler):
+        mode = cooler.var_by_name("s")
+        temp = cooler.var_by_name("temp")
+        conclusion = lor(
+            land(temp <= 30, mode.eq("Off")), land(temp > 30, mode.eq("On"))
+        )
+        checker = IncrementalConditionChecker(cooler)
+        incremental = checker.check(mode.eq("Off"), conclusion)
+        oneshot = check_condition(cooler, mode.eq("Off"), conclusion)
+        assert incremental.holds == oneshot.holds is True
+
+    def test_violated_condition(self, cooler):
+        mode = cooler.var_by_name("s")
+        checker = IncrementalConditionChecker(cooler)
+        result = checker.check(mode.eq("Off"), mode.eq("Off"))
+        assert not result.holds
+        v_t, v_t1 = result.counterexample
+        # The pair is a genuine R-step.
+        assert cooler.step({"s": v_t["s"]}, {"temp": v_t1["temp"]})["s"] == v_t1["s"]
+
+    def test_many_queries_no_residue(self, counter):
+        """Earlier queries must not constrain later ones."""
+        count = counter.var_by_name("c")
+        checker = IncrementalConditionChecker(counter)
+        # A contradictory query first...
+        first = checker.check(TRUE, FALSE)
+        assert not first.holds
+        # ...must not make a satisfiable query unsat or vice versa.
+        second = checker.check(count.eq(0), count <= 5)
+        assert second.holds
+        third = checker.check(count.eq(0), count.eq(1))
+        assert not third.holds  # run=0 resets to 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        assume_pin=st.integers(0, 5),
+        conclude_lo=st.integers(0, 5),
+        conclude_hi=st.integers(0, 5),
+    )
+    def test_agrees_with_oneshot(self, assume_pin, conclude_lo, conclude_hi):
+        system = _saturating_counter()
+        count = system.var_by_name("c")
+        assume = count.eq(assume_pin)
+        conclusion = land(count >= min(conclude_lo, conclude_hi),
+                          count <= max(conclude_lo, conclude_hi))
+        checker = IncrementalConditionChecker(system)
+        incremental = checker.check(assume, conclusion)
+        oneshot = check_condition(system, assume, conclusion)
+        assert incremental.holds == oneshot.holds
+
+    def test_base_constraint_restricts_counterexamples(self, counter):
+        count = counter.var_by_name("c")
+        unguided = IncrementalConditionChecker(counter)
+        result = unguided.check(count >= 0, count <= 4)
+        assert not result.holds  # c=4 -> c=5 violates, also c=5 itself
+
+        guided = IncrementalConditionChecker(counter)
+        guided.add_base_constraint(count <= 3)  # pretend only c<=3 reachable
+        result = guided.check(count >= 0, count <= 4)
+        assert result.holds  # from c<=3 one step keeps c<=4
+
+    def test_base_constraint_after_query_rejected(self, counter):
+        count = counter.var_by_name("c")
+        checker = IncrementalConditionChecker(counter)
+        checker.check(TRUE, count <= 5)
+        with pytest.raises(RuntimeError):
+            checker.add_base_constraint(count <= 3)
+
+
+def _saturating_counter():
+    from repro.expr import BOOL, ite
+    from repro.system import make_system
+
+    run = Var("run", BOOL)
+    count = Var("c", int_sort(0, 5))
+    return make_system(
+        "counter_hyp", [count], [run], {"c": 0},
+        {count: ite(run.prime(), ite(count < 5, count + 1, count), 0)},
+    )
+
+
+class TestReachableFormula:
+    def test_exact_dnf_for_small_sets(self, counter):
+        formula = reachable_formula(counter, shared_reachability(counter))
+        for value in range(6):
+            assert holds(formula, {"c": value})
+
+    def test_excludes_unreachable(self):
+        from repro.expr import ite
+        from repro.system import make_system
+
+        x = Var("x", int_sort(0, 7))
+        evens = make_system(
+            "evens2", [x], [], {"x": 0}, {x: ite(x < 6, x + 2, 0)}
+        )
+        formula = reachable_formula(evens)
+        assert holds(formula, {"x": 4})
+        assert not holds(formula, {"x": 3})
+
+    def test_cartesian_fallback(self, two_phase):
+        formula = reachable_formula(
+            two_phase, shared_reachability(two_phase), max_disjuncts=1
+        )
+        # Over-approximation: contains every reachable state...
+        for state in shared_reachability(two_phase).reachable_states():
+            assert holds(formula, dict(state))
+        # ...and stays within observed per-variable values.
+        assert not holds(formula, {"phase": 0, "cycles": 99})

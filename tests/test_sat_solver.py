@@ -1,0 +1,277 @@
+"""Tests for the CDCL SAT solver: correctness on crafted and random CNFs."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, GateBuilder, Solver, check_model, luby, solve_cnf
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    """Reference: enumerate all assignments (for small formulas)."""
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, cnf.num_vars + 1)}
+        if check_model(cnf, assignment):
+            return True
+    return False
+
+
+class TestCnfContainer:
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_vars(3) == [1, 2, 3]
+        assert cnf.num_vars == 3
+
+    def test_add_clause_validates(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_dimacs_roundtrip(self, tmp_path):
+        cnf = CNF()
+        cnf.new_vars(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3])
+        path = tmp_path / "f.cnf"
+        with open(path, "w") as out:
+            cnf.to_dimacs(out)
+        with open(path) as src:
+            back = CNF.from_dimacs(src)
+        assert back.num_vars == 3
+        assert back.clauses == [[1, -2], [2, 3]]
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestSolverBasics:
+    def test_empty_formula_sat(self):
+        assert solve_cnf(CNF()).satisfiable
+
+    def test_single_unit(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert result.value(1) is True
+
+    def test_contradictory_units(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_simple_implication_chain(self):
+        cnf = CNF()
+        cnf.new_vars(4)
+        cnf.add_clause([1])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([-2, 3])
+        cnf.add_clause([-3, 4])
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert all(result.value(v) for v in range(1, 5))
+
+    def test_unsat_pigeonhole_2_in_1(self):
+        # Two pigeons, one hole.
+        cnf = CNF()
+        p1, p2 = cnf.new_vars(2)
+        cnf.add_clause([p1])
+        cnf.add_clause([p2])
+        cnf.add_clause([-p1, -p2])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_model_satisfies_formula(self):
+        cnf = CNF()
+        cnf.new_vars(5)
+        cnf.add_clause([1, 2, 3])
+        cnf.add_clause([-1, -2])
+        cnf.add_clause([-3, 4])
+        cnf.add_clause([-4, 5, -1])
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert check_model(cnf, result.model)
+
+    def test_assumptions_force_polarity(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, 2])
+        result = solve_cnf(cnf, assumptions=[-1])
+        assert result.satisfiable
+        assert result.value(2) is True
+
+    def test_assumptions_can_make_unsat(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, 2])
+        assert not solve_cnf(cnf, assumptions=[-1, -2]).satisfiable
+
+
+def pigeonhole_cnf(pigeons: int, holes: int) -> CNF:
+    """PHP(p, h): each pigeon in a hole, no two share one."""
+    cnf = CNF()
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[p, h] = cnf.new_var()
+    for p in range(pigeons):
+        cnf.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var[p1, h], -var[p2, h]])
+    return cnf
+
+
+class TestSolverHard:
+    def test_php_4_3_unsat(self):
+        assert not solve_cnf(pigeonhole_cnf(4, 3)).satisfiable
+
+    def test_php_5_4_unsat(self):
+        assert not solve_cnf(pigeonhole_cnf(5, 4)).satisfiable
+
+    def test_php_4_4_sat(self):
+        result = solve_cnf(pigeonhole_cnf(4, 4))
+        assert result.satisfiable
+
+    def test_random_3sat_agrees_with_brute_force(self):
+        rng = random.Random(12345)
+        for trial in range(40):
+            num_vars = rng.randint(3, 8)
+            num_clauses = rng.randint(2, 30)
+            cnf = CNF()
+            cnf.new_vars(num_vars)
+            for _ in range(num_clauses):
+                clause_vars = rng.sample(range(1, num_vars + 1), k=min(3, num_vars))
+                cnf.add_clause(
+                    [v if rng.random() < 0.5 else -v for v in clause_vars]
+                )
+            expected = brute_force_sat(cnf)
+            result = solve_cnf(cnf)
+            assert result.satisfiable == expected, f"trial {trial}"
+            if result.satisfiable:
+                assert check_model(cnf, result.model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_hypothesis_random_cnf(self, data):
+        num_vars = data.draw(st.integers(2, 7))
+        clauses = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(1, num_vars).flatmap(
+                        lambda v: st.sampled_from([v, -v])
+                    ),
+                    min_size=1,
+                    max_size=4,
+                ),
+                min_size=1,
+                max_size=20,
+            )
+        )
+        cnf = CNF()
+        cnf.new_vars(num_vars)
+        for clause in clauses:
+            cnf.add_clause(clause)
+        expected = brute_force_sat(cnf)
+        result = solve_cnf(cnf)
+        assert result.satisfiable == expected
+        if result.satisfiable:
+            assert check_model(cnf, result.model)
+
+
+class TestGateBuilder:
+    def _fresh(self):
+        cnf = CNF()
+        return cnf, GateBuilder(cnf)
+
+    def _check_gate(self, build, table):
+        """build(gates, a, b) -> out; table maps (va, vb) -> expected."""
+        for va, vb in table:
+            cnf, gates = self._fresh()
+            a, b = cnf.new_vars(2)
+            out = build(gates, a, b)
+            result = solve_cnf(
+                cnf, assumptions=[a if va else -a, b if vb else -b, out]
+            )
+            assert result.satisfiable == table[va, vb], (va, vb)
+
+    def test_and_gate_truth_table(self):
+        table = {(0, 0): False, (0, 1): False, (1, 0): False, (1, 1): True}
+        self._check_gate(lambda g, a, b: g.and_gate(a, b), table)
+
+    def test_or_gate_truth_table(self):
+        table = {(0, 0): False, (0, 1): True, (1, 0): True, (1, 1): True}
+        self._check_gate(lambda g, a, b: g.or_gate(a, b), table)
+
+    def test_xor_gate_truth_table(self):
+        table = {(0, 0): False, (0, 1): True, (1, 0): True, (1, 1): False}
+        self._check_gate(lambda g, a, b: g.xor_gate(a, b), table)
+
+    def test_xnor_gate_truth_table(self):
+        table = {(0, 0): True, (0, 1): False, (1, 0): False, (1, 1): True}
+        self._check_gate(lambda g, a, b: g.xnor_gate(a, b), table)
+
+    def test_constant_folding(self):
+        cnf, gates = self._fresh()
+        a = cnf.new_var()
+        assert gates.and_gate(a, gates.false_lit) == gates.false_lit
+        assert gates.and_gate(a, gates.true_lit) == a
+        assert gates.or_gate(a, gates.true_lit) == gates.true_lit
+        assert gates.or_gate(a, gates.false_lit) == a
+        assert gates.xor_gate(a, gates.false_lit) == a
+        assert gates.xor_gate(a, gates.true_lit) == -a
+
+    def test_complement_folding(self):
+        cnf, gates = self._fresh()
+        a = cnf.new_var()
+        assert gates.and_gate(a, -a) == gates.false_lit
+        assert gates.or_gate(a, -a) == gates.true_lit
+        assert gates.xor_gate(a, a) == gates.false_lit
+        assert gates.xor_gate(a, -a) == gates.true_lit
+
+    def test_gate_caching(self):
+        cnf, gates = self._fresh()
+        a, b = cnf.new_vars(2)
+        assert gates.and_gate(a, b) == gates.and_gate(b, a)
+        assert gates.or_gate(a, b) == gates.or_gate(b, a)
+
+    def test_full_adder(self):
+        for va, vb, vc in itertools.product([0, 1], repeat=3):
+            cnf, gates = self._fresh()
+            a, b, c = cnf.new_vars(3)
+            total, carry = gates.full_adder(a, b, c)
+            assumptions = [
+                a if va else -a, b if vb else -b, c if vc else -c,
+            ]
+            result = solve_cnf(cnf, assumptions=assumptions)
+            assert result.satisfiable
+            expected = va + vb + vc
+            assert result.lit_true(total) == bool(expected & 1)
+            assert result.lit_true(carry) == bool(expected >> 1)
+
+    def test_ite_gate(self):
+        for vc, vt, ve in itertools.product([0, 1], repeat=3):
+            cnf, gates = self._fresh()
+            c, t, e = cnf.new_vars(3)
+            out = gates.ite_gate(c, t, e)
+            assumptions = [c if vc else -c, t if vt else -t, e if ve else -e]
+            result = solve_cnf(cnf, assumptions=assumptions)
+            assert result.satisfiable
+            assert result.lit_true(out) == bool(vt if vc else ve)
+
+    def test_assert_false_constant_makes_unsat(self):
+        cnf, gates = self._fresh()
+        gates.assert_true(gates.false_lit)
+        assert not solve_cnf(cnf).satisfiable

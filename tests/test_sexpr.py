@@ -1,0 +1,134 @@
+"""Round-trip tests for the s-expression serialisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import (
+    BOOL,
+    Var,
+    enum_sort,
+    eq,
+    evaluate,
+    holds,
+    int_sort,
+    ite,
+    land,
+    lnot,
+    lor,
+)
+from repro.expr.sexpr import SexprError, dumps, loads
+
+A = Var("a", int_sort(-5, 9))
+M = Var("m", enum_sort("Mode", "Off", "On"))
+P = Var("p", BOOL)
+
+
+class TestDumps:
+    def test_atoms(self):
+        assert dumps(eq(A, 3)) == "(= (var a (int -5 9)) 3)"
+        assert "true" in dumps(P.eq(True))
+
+    def test_enum_sort_carried(self):
+        text = dumps(M.eq("On"))
+        assert "(enum Mode Off On)" in text
+        assert "(const 1" in text
+
+    def test_primed_marker(self):
+        assert dumps(A.prime().eq(0)).startswith("(= (var' a")
+
+
+class TestLoads:
+    def test_roundtrip_simple(self):
+        expr = land(A > 3, M.eq("On"), lnot(P))
+        assert loads(dumps(expr)) == expr
+
+    def test_roundtrip_arith(self):
+        expr = eq(A + 2, -A * 3)
+        assert loads(dumps(expr)) == expr
+
+    def test_roundtrip_ite(self):
+        expr = eq(ite(P, A, A + 1), 4)
+        assert loads(dumps(expr)) == expr
+
+    def test_roundtrip_primed(self):
+        expr = land(A.prime() > 0, M.prime().eq("Off"))
+        assert loads(dumps(expr)) == expr
+
+    def test_rejects_garbage(self):
+        for bad in ["", "(", ")", "(wat 1 2)", "(= 1)", "(var x)", "xyz"]:
+            with pytest.raises(SexprError):
+                loads(bad)
+
+    def test_rejects_trailing(self):
+        with pytest.raises(SexprError, match="trailing"):
+            loads("1 2")
+
+
+def bool_exprs(depth: int):
+    atoms = st.one_of(
+        st.just(P),
+        st.integers(-5, 9).map(lambda c: A > c),
+        st.sampled_from(["Off", "On"]).map(lambda mem: M.eq(mem)),
+    )
+    if depth == 0:
+        return atoms
+    sub = bool_exprs(depth - 1)
+    return st.one_of(
+        atoms,
+        st.tuples(sub, sub).map(lambda t: land(*t)),
+        st.tuples(sub, sub).map(lambda t: lor(*t)),
+        sub.map(lnot),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=bool_exprs(3))
+def test_roundtrip_property(expr):
+    """dumps → loads is the identity on normalised expressions."""
+    assert loads(dumps(expr)) == expr
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    expr=bool_exprs(2),
+    a=st.integers(-5, 9),
+    m=st.integers(0, 1),
+    p=st.integers(0, 1),
+)
+def test_roundtrip_preserves_semantics(expr, a, m, p):
+    env = {"a": a, "m": m, "p": p}
+    assert holds(loads(dumps(expr)), env) == holds(expr, env)
+
+
+class TestInvariantPersistence:
+    def test_invariants_survive_disk_roundtrip(self, cooler, tmp_path):
+        """The intended workflow: mine invariants, save, reload, re-check."""
+        from repro.core import ActiveLearner, cross_check
+        from repro.core.invariants import Invariant
+        from repro.learn import T2MLearner
+        from repro.traces import random_traces
+
+        learner = T2MLearner(
+            mode_vars=["s"], variables={v.name: v for v in cooler.variables}
+        )
+        result = ActiveLearner(cooler, learner, k=10).run(
+            random_traces(cooler, count=15, length=15, seed=2)
+        )
+        assert result.converged
+        path = tmp_path / "invariants.sexpr"
+        with open(path, "w") as out:
+            for inv in result.invariants:
+                out.write(dumps(inv.assumption) + "\n")
+                out.write(dumps(inv.conclusion) + "\n")
+        lines = path.read_text().splitlines()
+        reloaded = [
+            Invariant(
+                assumption=loads(lines[i]),
+                conclusion=loads(lines[i + 1]),
+                origin="reloaded",
+            )
+            for i in range(0, len(lines), 2)
+        ]
+        assert len(reloaded) == len(result.invariants)
+        report = cross_check(reloaded, cooler)
+        assert report.consistent

@@ -1,0 +1,271 @@
+"""Tests for the chart DSL and its code generator.
+
+The invariant to protect: the compiled symbolic system's semantics match
+the chart's intended Stateflow semantics -- priority, sequential
+parallel composition, during actions, dwell counters.
+"""
+
+import pytest
+
+from repro.expr import BOOL, IntSort, holds, ite, land
+from repro.stateflow import Chart, Machine
+from repro.system import Valuation
+
+
+def simple_chart():
+    chart = Chart("simple")
+    go = chart.add_input("go", BOOL)
+    machine = chart.machine("M", ["A", "B"], initial="A")
+    machine.transition("A", "B", guard=go, label="fwd")
+    machine.transition("B", "A", guard=~go, label="back")
+    return chart
+
+
+class TestAuthoring:
+    def test_machine_state_index(self):
+        machine = Machine("M", ["A", "B"], initial="A")
+        assert machine.state_index("B") == 1
+        with pytest.raises(ValueError):
+            machine.state_index("C")
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Machine("M", ["A"], initial="B")
+
+    def test_in_state_guard(self):
+        machine = Machine("M", ["A", "B"], initial="A")
+        assert holds(machine.in_state("B"), {"M": 1})
+        assert not holds(machine.in_state("B"), {"M": 0})
+
+    def test_after_requires_max_dwell(self):
+        machine = Machine("M", ["A"], initial="A")
+        with pytest.raises(ValueError, match="max_dwell"):
+            machine.after(3)
+
+    def test_after_bounds_checked(self):
+        machine = Machine("M", ["A"], initial="A", max_dwell=3)
+        machine.after(4)  # n-1 == max_dwell is fine
+        with pytest.raises(ValueError):
+            machine.after(5)
+        with pytest.raises(ValueError):
+            machine.after(0)
+
+    def test_duplicate_names_rejected(self):
+        chart = Chart("c")
+        chart.add_input("x", BOOL)
+        with pytest.raises(ValueError, match="already used"):
+            chart.add_data("x", BOOL)
+
+    def test_machine_name_collision_rejected(self):
+        chart = Chart("c")
+        chart.add_input("M", BOOL)
+        with pytest.raises(ValueError, match="already used"):
+            chart.machine("M", ["A"], initial="A")
+
+    def test_unknown_guard_variable_rejected(self):
+        from repro.expr import Var
+
+        chart = Chart("c")
+        chart.add_input("go", BOOL)
+        machine = chart.machine("M", ["A"], initial="A")
+        machine.transition("A", "A", guard=Var("ghost", BOOL))
+        with pytest.raises(ValueError, match="unknown variable"):
+            chart.build()
+
+    def test_non_bool_guard_rejected(self):
+        chart = Chart("c")
+        width = chart.add_input("w", IntSort(0, 3))
+        machine = chart.machine("M", ["A"], initial="A")
+        with pytest.raises(TypeError):
+            machine.transition("A", "A", guard=width)
+
+    def test_chart_without_machines_rejected(self):
+        chart = Chart("c")
+        chart.add_input("go", BOOL)
+        with pytest.raises(ValueError, match="no machines"):
+            chart.build()
+
+
+class TestCompiledSemantics:
+    def test_basic_stepping(self):
+        system, _info = simple_chart().build()
+        state = system.init_state
+        assert state["M"] == 0
+        state = system.step(state, {"go": 1})
+        assert state["M"] == 1
+        state = system.step(state, {"go": 1})
+        assert state["M"] == 1  # B holds while go
+        state = system.step(state, {"go": 0})
+        assert state["M"] == 0
+
+    def test_priority_order(self):
+        """Two enabled transitions: the first declared must win."""
+        chart = Chart("prio")
+        go = chart.add_input("go", BOOL)
+        machine = chart.machine("M", ["A", "B", "C"], initial="A")
+        machine.transition("A", "B", guard=go, label="first")
+        machine.transition("A", "C", guard=go, label="second")
+        system, info = chart.build()
+        stepped = system.step(system.init_state, {"go": 1})
+        assert stepped["M"] == 1  # B, not C
+        fired = info.fired("M", dict(system.init_state), {"go'": 1})
+        assert fired.transition.label == "first"
+
+    def test_transition_actions(self):
+        chart = Chart("act")
+        go = chart.add_input("go", BOOL)
+        counter = chart.add_data("n", IntSort(0, 10), init=0)
+        machine = chart.machine("M", ["A", "B"], initial="A")
+        machine.transition("A", "B", guard=go, actions={counter: counter + 1})
+        machine.transition("B", "A", guard=~go)
+        system, _info = chart.build()
+        state = system.step(system.init_state, {"go": 1})
+        assert state["n"] == 1
+        state = system.step(state, {"go": 0})  # back transition, no action
+        assert state["n"] == 0 or state["n"] == 1  # unchanged by B->A
+        assert state["n"] == 1
+
+    def test_during_actions_only_when_not_firing(self):
+        chart = Chart("during")
+        go = chart.add_input("go", BOOL)
+        counter = chart.add_data("n", IntSort(0, 10), init=0)
+        machine = chart.machine("M", ["A", "B"], initial="A")
+        machine.transition("A", "B", guard=go)
+        machine.during("A", {counter: counter + 1})
+        system, _info = chart.build()
+        # Staying in A: during runs.
+        state = system.step(system.init_state, {"go": 0})
+        assert state["n"] == 1 and state["M"] == 0
+        # Leaving A: during must not run.
+        state = system.step(state, {"go": 1})
+        assert state["n"] == 1 and state["M"] == 1
+
+    def test_dwell_counter_semantics(self):
+        chart = Chart("dwell")
+        go = chart.add_input("go", BOOL)
+        machine = chart.machine("M", ["A", "B"], initial="A", max_dwell=5)
+        machine.transition("A", "B", guard=land(go, machine.after(3)))
+        machine.transition("B", "A", guard=~go)
+        system, _info = chart.build()
+        state = system.init_state
+        # after(3) fires on the 3rd tick in A at the earliest.
+        for tick in range(1, 6):
+            state = system.step(state, {"go": 1})
+            if tick < 3:
+                assert state["M"] == 0, f"fired too early at tick {tick}"
+            else:
+                assert state["M"] == 1, f"failed to fire at tick {tick}"
+                break
+
+    def test_dwell_resets_on_entry(self):
+        chart = Chart("dwell2")
+        go = chart.add_input("go", BOOL)
+        machine = chart.machine("M", ["A", "B"], initial="A", max_dwell=4)
+        machine.transition("A", "B", guard=land(go, machine.after(2)))
+        machine.transition("B", "A", guard=~go)
+        system, _info = chart.build()
+        state = system.init_state
+        state = system.step(state, {"go": 1})  # dwell 0 -> no fire
+        state = system.step(state, {"go": 1})  # after(2) fires
+        assert state["M"] == 1 and state["M_t"] == 0
+        state = system.step(state, {"go": 0})  # back to A, dwell reset
+        assert state["M"] == 0 and state["M_t"] == 0
+
+    def test_dwell_saturates(self):
+        chart = Chart("dwell3")
+        chart.add_input("go", BOOL)
+        machine = chart.machine("M", ["A"], initial="A", max_dwell=2)
+        machine.transition("A", "A", guard=machine.after(99) if False else None)
+        system, _info = chart.build()
+        # The only transition is unconditional: dwell always resets.
+        state = system.step(system.init_state, {"go": 0})
+        assert state["M_t"] == 0
+
+    def test_sequential_parallel_composition(self):
+        """A later machine reads the *updated* state of an earlier one."""
+        chart = Chart("seq")
+        go = chart.add_input("go", BOOL)
+        first = chart.machine("First", ["A", "B"], initial="A")
+        first.transition("A", "B", guard=go)
+        second = chart.machine("Second", ["X", "Y"], initial="X")
+        second.transition("X", "Y", guard=first.in_state("B"))
+        system, _info = chart.build()
+        # One tick: First goes A->B *and* Second sees B immediately.
+        state = system.step(system.init_state, {"go": 1})
+        assert state["First"] == 1
+        assert state["Second"] == 1
+
+    def test_declaration_order_matters(self):
+        """Reversed declaration: the reader machine lags one tick."""
+        chart = Chart("seq2")
+        go = chart.add_input("go", BOOL)
+        second = chart.machine("Second", ["X", "Y"], initial="X")
+        first = chart.machine("First", ["A", "B"], initial="A")
+        second.transition("X", "Y", guard=first.in_state("B"))
+        first.transition("A", "B", guard=go)
+        system, _info = chart.build()
+        state = system.step(system.init_state, {"go": 1})
+        assert state["First"] == 1
+        assert state["Second"] == 0  # saw the pre-update A
+        state = system.step(state, {"go": 1})
+        assert state["Second"] == 1
+
+    def test_symbolic_matches_concrete(self):
+        """R(v_t, v_t+1) holds along every simulated step."""
+        import random
+
+        system, _info = simple_chart().build()
+        rng = random.Random(4)
+        state = system.init_state
+        for _ in range(50):
+            inputs = {"go": rng.randint(0, 1)}
+            next_state = system.step(state, inputs)
+            env = dict(state)
+            env.update({f"{k}'": v for k, v in inputs.items()})
+            env.update({f"{k}'": v for k, v in next_state.items()})
+            assert holds(system.trans, env)
+            state = next_state
+
+
+class TestCodegenInfo:
+    def test_fired_reports_none_when_blocked(self):
+        chart = simple_chart()
+        system, info = chart.build()
+        fired = info.fired("M", dict(system.init_state), {"go'": 0})
+        assert fired is None
+
+    def test_fired_identifies_transition(self):
+        chart = simple_chart()
+        system, info = chart.build()
+        fired = info.fired("M", dict(system.init_state), {"go'": 1})
+        assert fired is not None
+        assert fired.transition.label == "fwd"
+
+
+class TestInputSampleDerivation:
+    def test_guard_boundaries_included(self):
+        chart = Chart("bounds")
+        level = chart.add_input("level", IntSort(0, 100))
+        machine = chart.machine("M", ["A", "B"], initial="A")
+        machine.transition("A", "B", guard=level > 42)
+        machine.transition("B", "A", guard=level <= 42)
+        system, _info = chart.build()
+        values = {sample["level"] for sample in system.enumerate_inputs()}
+        assert {0, 42, 43, 100} <= values
+
+    def test_declared_samples_win(self):
+        chart = Chart("decl")
+        chart.add_input("level", IntSort(0, 100), samples=[1, 2, 3])
+        machine = chart.machine("M", ["A"], initial="A")
+        machine.transition("A", "A", guard=None)
+        system, _info = chart.build()
+        assert {s["level"] for s in system.enumerate_inputs()} == {1, 2, 3}
+
+    def test_explosion_rejected(self):
+        chart = Chart("boom")
+        for index in range(13):
+            chart.add_input(f"b{index}", BOOL)
+        machine = chart.machine("M", ["A"], initial="A")
+        machine.transition("A", "A", guard=None)
+        with pytest.raises(ValueError, match="representative input"):
+            chart.build()

@@ -1,0 +1,171 @@
+"""Tests over the 28-benchmark library.
+
+Structural checks run on every benchmark (compiles, simulates, ground
+truth witnessed); full active-learning convergence is covered per
+benchmark in the benchmark harness and spot-checked here on the cheap
+ones.
+"""
+
+import pytest
+
+from repro.stateflow.library import all_benchmarks, benchmark_names, get_benchmark
+
+EXPECTED_BENCHMARKS = 28
+
+# Paper Table I: benchmark -> k.
+PAPER_K = {
+    "AutomaticTransmissionUsingDurationOperator": 125,
+    "BangBangControlUsingTemporalLogic": 62,
+    "CountEvents": 20,
+    "FrameSyncController": 530,
+    "HomeClimateControlUsingTheTruthtableBlock": 10,
+    "KarplusStrongAlgorithmUsingStateflow": 100,
+    "LadderLogicScheduler": 10,
+    "MealyVendingMachine": 10,
+    "ModelingACdPlayerradioUsingEnumeratedDataType": 205,
+    "ModelingACdPlayerradioUsingEnumeratedDataType2": 205,
+    "ModelingALaunchAbortSystem": 22,
+    "ModelingAnIntersectionOfTwo1wayStreetsUsingStateflow": 60,
+    "ModelingARedundantSensorPairUsingAtomicSubchart": 20,
+    "ModelingASecuritySystem": 100,
+    "MonitorTestPointsInStateflowChart": 20,
+    "MooreTrafficLight": 40,
+    "ReuseStatesByUsingAtomicSubcharts": 10,
+    "SchedulingSimulinkAlgorithmsUsingStateflow": 127,
+    "SequenceRecognitionUsingMealyAndMooreChart": 30,
+    "ServerQueueingSystem": 40,
+    "StatesWhenEnabling": 30,
+    "StateTransitionMatrixViewForStateTransitionTable": 25,
+    "Superstep": 10,
+    "TemporalLogicScheduler": 202,
+    "UsingSimulinkFunctionsToDesignSwitchingControllers": 10,
+    "VarSize": 35,
+    "ViewDifferencesBetweenMessagesEventsAndData": 10,
+    "YoYoControlOfSatellite": 10,
+}
+
+
+class TestRegistry:
+    def test_benchmark_count(self):
+        assert len(benchmark_names()) == EXPECTED_BENCHMARKS
+
+    def test_all_paper_benchmarks_present(self):
+        assert set(benchmark_names()) == set(PAPER_K)
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("Nope")
+
+    def test_caching(self):
+        assert get_benchmark("CountEvents") is get_benchmark("CountEvents")
+
+    def test_k_values_match_paper(self):
+        for name, k in PAPER_K.items():
+            assert get_benchmark(name).k == k, name
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_K))
+class TestEveryBenchmark:
+    def test_compiles_and_simulates(self, name):
+        import random
+
+        benchmark = get_benchmark(name)
+        system = benchmark.system
+        rng = random.Random(1)
+        state = system.init_state
+        for _ in range(30):
+            inputs = system.random_inputs(rng)
+            state = system.step(state, inputs)
+        # state stays within declared sorts
+        for var in system.state_vars:
+            from repro.expr import IntSort, EnumSort, BoolSort
+
+            value = state[var.name]
+            if isinstance(var.sort, IntSort):
+                assert var.sort.lo <= value <= var.sort.hi, var.name
+            elif isinstance(var.sort, EnumSort):
+                assert 0 <= value < var.sort.cardinality, var.name
+            else:
+                assert value in (0, 1), var.name
+
+    def test_traces_are_executions(self, name):
+        from repro.traces import random_traces
+
+        benchmark = get_benchmark(name)
+        traces = random_traces(benchmark.system, count=5, length=10, seed=2)
+        for trace in traces:
+            assert benchmark.system.is_execution(list(trace))
+
+    def test_fsa_specs_reference_real_machines(self, name):
+        benchmark = get_benchmark(name)
+        machine_names = {m.name for m in benchmark.chart.machines}
+        observable_names = {v.name for v in benchmark.system.variables}
+        assert benchmark.fsas, name
+        for spec in benchmark.fsas:
+            assert set(spec.machines) <= machine_names, spec.name
+            assert set(spec.resolved_mode_vars()) <= observable_names, spec.name
+
+    def test_ground_truth_fully_witnessed(self, name):
+        """Every authored chart transition must be reachable: dead
+        transitions would silently shrink the d-score denominator."""
+        benchmark = get_benchmark(name)
+        for spec in benchmark.fsas:
+            for truth in benchmark.ground_truth(spec):
+                assert truth.unwitnessed == [], (
+                    f"{name}/{truth.machine}: dead transitions "
+                    f"{truth.unwitnessed}"
+                )
+
+    def test_witnesses_are_executions(self, name):
+        benchmark = get_benchmark(name)
+        for spec in benchmark.fsas:
+            for truth in benchmark.ground_truth(spec):
+                for witness in truth.witnesses:
+                    assert benchmark.system.is_execution(
+                        list(witness.witness)
+                    ), witness.label
+
+
+class TestSelectedConvergence:
+    """Fast benchmarks must reach α=1 with d=1 (Table I spot checks)."""
+
+    @pytest.mark.parametrize(
+        "name,fsa,paper_n",
+        [
+            ("MealyVendingMachine", "Vend", 4),
+            ("HomeClimateControlUsingTheTruthtableBlock", "Cooler", 2),
+            ("SequenceRecognitionUsingMealyAndMooreChart", "Detect", 5),
+            ("CountEvents", "Counter", 3),
+            ("StatesWhenEnabling", "Enabling", 4),
+            ("ReuseStatesByUsingAtomicSubcharts", "Power", 3),
+            ("MonitorTestPointsInStateflowChart", "Toggle", 2),
+            ("ViewDifferencesBetweenMessagesEventsAndData", "Consumer", 4),
+        ],
+    )
+    def test_converges_to_paper_shape(self, name, fsa, paper_n):
+        from repro.evaluation import run_active
+
+        benchmark = get_benchmark(name)
+        out = run_active(
+            benchmark, benchmark.fsa(fsa),
+            initial_traces=20, trace_length=20, budget_seconds=60,
+        )
+        assert out.row.alpha == 1.0
+        assert out.d == 1.0
+        assert out.row.num_states == paper_n
+
+    def test_superstep_rows(self):
+        from repro.evaluation import run_active
+
+        benchmark = get_benchmark("Superstep")
+        with_row = run_active(
+            benchmark, benchmark.fsa("WithSuperStep"),
+            initial_traces=10, trace_length=10, budget_seconds=30,
+        )
+        without_row = run_active(
+            benchmark, benchmark.fsa("WithoutSuperStep"),
+            initial_traces=10, trace_length=10, budget_seconds=30,
+        )
+        assert with_row.row.num_states == 1   # paper: N=1
+        assert without_row.row.num_states == 3  # paper: N=3
+        assert with_row.row.alpha == without_row.row.alpha == 1.0

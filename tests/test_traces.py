@@ -1,0 +1,160 @@
+"""Tests for traces: structure, prefix-closure helpers, generation, I/O."""
+
+import io
+import random
+
+import pytest
+
+from repro.system import Valuation
+from repro.traces import (
+    Trace,
+    TraceSet,
+    guided_trace,
+    random_trace,
+    random_traces,
+    read_csv,
+    read_json,
+    write_csv,
+    write_json,
+)
+
+
+def obs(**kwargs):
+    return Valuation(kwargs)
+
+
+class TestTrace:
+    def test_length_and_iteration(self):
+        trace = Trace([obs(a=1), obs(a=2)])
+        assert len(trace) == 2
+        assert [o["a"] for o in trace] == [1, 2]
+
+    def test_indexing_and_slicing(self):
+        trace = Trace([obs(a=1), obs(a=2), obs(a=3)])
+        assert trace[1]["a"] == 2
+        assert isinstance(trace[:2], Trace)
+        assert len(trace[:2]) == 2
+
+    def test_prefix(self):
+        trace = Trace([obs(a=1), obs(a=2), obs(a=3)])
+        assert len(trace.prefix(2)) == 2
+        with pytest.raises(ValueError):
+            trace.prefix(4)
+
+    def test_prefixes_shortest_first(self):
+        trace = Trace([obs(a=1), obs(a=2)])
+        lengths = [len(p) for p in trace.prefixes()]
+        assert lengths == [1, 2]
+
+    def test_extended(self):
+        trace = Trace([obs(a=1)])
+        longer = trace.extended(obs(a=2), obs(a=3))
+        assert len(longer) == 3
+        assert len(trace) == 1  # immutable
+
+    def test_hashable_equality(self):
+        assert Trace([obs(a=1)]) == Trace([obs(a=1)])
+        assert hash(Trace([obs(a=1)])) == hash(Trace([obs(a=1)]))
+
+    def test_variables(self):
+        trace = Trace([obs(b=1, a=2)])
+        assert trace.variables == ("a", "b")
+        assert Trace([]).variables == ()
+
+
+class TestTraceSet:
+    def test_deduplication(self):
+        traces = TraceSet()
+        assert traces.add(Trace([obs(a=1)]))
+        assert not traces.add(Trace([obs(a=1)]))
+        assert len(traces) == 1
+
+    def test_update_counts_new(self):
+        traces = TraceSet([Trace([obs(a=1)])])
+        added = traces.update([Trace([obs(a=1)]), Trace([obs(a=2)])])
+        assert added == 1
+        assert len(traces) == 2
+
+    def test_union_preserves_originals(self):
+        left = TraceSet([Trace([obs(a=1)])])
+        right = TraceSet([Trace([obs(a=2)])])
+        merged = left.union(right)
+        assert len(merged) == 2
+        assert len(left) == 1
+
+    def test_total_observations(self):
+        traces = TraceSet([Trace([obs(a=1), obs(a=2)]), Trace([obs(a=3)])])
+        assert traces.total_observations == 3
+
+    def test_consecutive_pairs(self):
+        traces = TraceSet([Trace([obs(a=1), obs(a=2), obs(a=3)])])
+        pairs = list(traces.consecutive_pairs())
+        assert pairs == [(obs(a=1), obs(a=2)), (obs(a=2), obs(a=3))]
+
+    def test_contains(self):
+        trace = Trace([obs(a=1)])
+        traces = TraceSet([trace])
+        assert trace in traces
+
+
+class TestGeneration:
+    def test_random_trace_length(self, cooler):
+        trace = random_trace(cooler, 10, random.Random(0))
+        assert len(trace) == 10
+
+    def test_random_traces_deterministic_by_seed(self, cooler):
+        first = random_traces(cooler, count=5, length=5, seed=42)
+        second = random_traces(cooler, count=5, length=5, seed=42)
+        assert list(first) == list(second)
+
+    def test_random_traces_are_executions(self, two_phase):
+        traces = random_traces(two_phase, count=10, length=20, seed=1)
+        for trace in traces:
+            assert two_phase.is_execution(list(trace))
+
+    def test_custom_sampler(self, cooler):
+        trace = random_trace(
+            cooler, 5, random.Random(0), sampler=lambda rng: {"temp": 45}
+        )
+        assert all(o["s"] == 1 for o in trace)
+
+    def test_guided_trace(self, counter):
+        trace = guided_trace(counter, [{"run": 1}] * 3)
+        assert [o["c"] for o in trace] == [1, 2, 3]
+
+
+class TestIO:
+    def _roundtrip_csv(self, traces):
+        buffer = io.StringIO()
+        write_csv(traces, buffer)
+        buffer.seek(0)
+        return read_csv(buffer)
+
+    def test_csv_roundtrip(self, cooler):
+        traces = random_traces(cooler, count=3, length=4, seed=9)
+        back = self._roundtrip_csv(traces)
+        assert list(back) == list(traces)
+
+    def test_csv_empty_set(self):
+        back = self._roundtrip_csv(TraceSet())
+        assert len(back) == 0
+
+    def test_csv_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            read_csv(io.StringIO("nope,nope\n1,2\n"))
+
+    def test_json_roundtrip(self, cooler):
+        traces = random_traces(cooler, count=2, length=3, seed=5)
+        buffer = io.StringIO()
+        write_json(traces, buffer)
+        buffer.seek(0)
+        back = read_json(buffer)
+        assert list(back) == list(traces)
+
+    def test_save_load_files(self, tmp_path, cooler):
+        from repro.traces import load_csv, save_csv
+
+        traces = random_traces(cooler, count=2, length=3, seed=5)
+        path = tmp_path / "traces.csv"
+        save_csv(traces, path)
+        assert list(load_csv(path)) == list(traces)

@@ -1,0 +1,136 @@
+"""Tests for the §VI use-case APIs: coverage evaluation and cross-checking."""
+
+import pytest
+
+from repro.core import (
+    close_holes,
+    cross_check,
+    evaluate_suite,
+    extract_invariants,
+)
+from repro.core.loop import ActiveLearner
+from repro.expr import Var, enum_sort, int_sort, ite
+from repro.learn import T2MLearner
+from repro.system import make_system
+from repro.traces import TraceSet, guided_trace, random_traces
+
+
+def _learner(system):
+    return T2MLearner(
+        mode_vars=list(system.state_names),
+        variables={v.name: v for v in system.variables},
+        prefer_vars=list(system.input_names),
+    )
+
+
+class TestCoverage:
+    def test_rich_suite_is_complete(self, cooler):
+        suite = random_traces(cooler, count=30, length=30, seed=0)
+        report = evaluate_suite(cooler, suite, _learner(cooler), k=10)
+        assert report.complete
+        assert not report.holes
+        assert report.model is not None
+
+    def test_poor_suite_has_holes(self, cooler):
+        # Only cold inputs: the On mode is never exercised.
+        suite = TraceSet([guided_trace(cooler, [{"temp": 5}] * 5)])
+        report = evaluate_suite(cooler, suite, _learner(cooler), k=10)
+        assert not report.complete
+        assert report.holes
+        tests = report.all_generated_tests()
+        assert tests
+        # Generated tests reach the missing behaviour.
+        assert any(trace[-1]["s"] == 1 for trace in tests)
+
+    def test_close_holes_reaches_full_coverage(self, cooler):
+        suite = TraceSet([guided_trace(cooler, [{"temp": 5}] * 3)])
+        result = close_holes(cooler, suite, _learner(cooler), k=10)
+        assert result.closed
+        assert result.progression[0] < 1.0
+        assert result.progression[-1] == 1.0
+        assert len(result.suite) > 1
+
+    def test_close_holes_counter(self, counter):
+        suite = TraceSet([guided_trace(counter, [{"run": 0}] * 3)])
+        result = close_holes(counter, suite, _learner(counter), k=6)
+        assert result.closed
+
+    def test_round_budget_respected(self, counter):
+        suite = TraceSet([guided_trace(counter, [{"run": 0}])])
+        result = close_holes(
+            counter, suite, _learner(counter), k=6, max_rounds=1
+        )
+        assert result.rounds <= 1
+
+    def test_unguided_mode(self, cooler):
+        suite = random_traces(cooler, count=20, length=20, seed=0)
+        report = evaluate_suite(
+            cooler, suite, _learner(cooler), k=10, guided=False
+        )
+        assert 0.0 <= report.alpha <= 1.0
+
+
+def reference_vending():
+    coin = Var("coin", enum_sort("Coin", "none", "nickel", "dime"))
+    slot = Var("slot", enum_sort("Slot", "Zero", "Five", "Ten", "Fifteen"))
+    nickel = coin.prime().eq("nickel")
+    dime = coin.prime().eq("dime")
+    next_slot = ite(
+        slot.eq("Zero"), ite(nickel, 1, ite(dime, 2, 0)),
+        ite(
+            slot.eq("Five"), ite(nickel, 2, ite(dime, 3, 1)),
+            ite(slot.eq("Ten"), ite(nickel, 3, ite(dime, 3, 2)), 0),
+        ),
+    )
+    return make_system(
+        "vend_ref", [slot], [coin], {"slot": 0}, {slot: next_slot}
+    )
+
+
+def buggy_vending():
+    coin = Var("coin", enum_sort("Coin", "none", "nickel", "dime"))
+    slot = Var("slot", enum_sort("Slot", "Zero", "Five", "Ten", "Fifteen"))
+    nickel = coin.prime().eq("nickel")
+    dime = coin.prime().eq("dime")
+    next_slot = ite(
+        slot.eq("Zero"), ite(nickel, 1, ite(dime, 2, 0)),
+        ite(
+            slot.eq("Five"), ite(nickel, 2, ite(dime, 3, 1)),
+            ite(slot.eq("Ten"), ite(nickel, 3, ite(dime, 0, 2)), 0),  # BUG
+        ),
+    )
+    return make_system(
+        "vend_bug", [slot], [coin], {"slot": 0}, {slot: next_slot}
+    )
+
+
+class TestCrossCheck:
+    def _mined_invariants(self):
+        reference = reference_vending()
+        result = ActiveLearner(reference, _learner(reference), k=10).run(
+            random_traces(reference, count=20, length=20, seed=3)
+        )
+        assert result.converged
+        return result.invariants
+
+    def test_reference_consistent_with_itself(self):
+        invariants = self._mined_invariants()
+        report = cross_check(invariants, reference_vending())
+        assert report.consistent
+        assert report.agreed == report.total
+
+    def test_bug_detected(self):
+        invariants = self._mined_invariants()
+        report = cross_check(invariants, buggy_vending())
+        assert not report.consistent
+        violation = report.violations[0]
+        v_t, v_t1 = violation.step
+        # The divergence step is the dime-at-Ten swallow.
+        assert v_t["slot"] == 2 and v_t1["coin"] == 2
+
+    def test_report_describe(self):
+        invariants = self._mined_invariants()
+        report = cross_check(invariants, buggy_vending())
+        text = report.describe()
+        assert "invariants hold" in text
+        assert "violated by" in text

@@ -1,0 +1,55 @@
+"""Small-surface tests: verdict types and harness rendering."""
+
+import pytest
+
+from repro.expr import FALSE, TRUE
+from repro.mc import Harness, condition_harness, spurious_harness
+from repro.mc.verdicts import (
+    BmcResult,
+    ConditionCheckResult,
+    InductionOutcome,
+    KInductionResult,
+)
+from repro.system import Valuation
+
+
+class TestVerdictTypes:
+    def test_violated_check_requires_counterexample(self):
+        with pytest.raises(ValueError):
+            ConditionCheckResult(holds=False)
+
+    def test_holding_check_needs_none(self):
+        result = ConditionCheckResult(holds=True)
+        assert result.counterexample is None
+
+    def test_bmc_result_defaults(self):
+        result = BmcResult(reachable=False)
+        assert result.depth is None
+        assert result.trace == []
+
+    def test_kinduction_proved_property(self):
+        assert KInductionResult(InductionOutcome.PROVED).proved
+        assert not KInductionResult(InductionOutcome.STEP_VIOLATED).proved
+
+
+class TestHarnessRendering:
+    def test_condition_harness_shape(self):
+        harness = condition_harness(TRUE, FALSE)
+        text = harness.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("//")
+        assert lines[1] == "assume(true);"
+        assert lines[2] == "while (true) {"
+        assert lines[3] == "    X' = f(X);"
+        assert lines[-1] == "assert(false);"
+
+    def test_spurious_harness_pins_state(self, cooler):
+        harness = spurious_harness(cooler, Valuation({"temp": 40, "s": 1}))
+        text = harness.render()
+        assert "assume(" in text
+        assert "s = 1" in text or "s = On" in text or "!(" in text
+
+    def test_harness_is_frozen(self):
+        harness = Harness(assume=TRUE, assert_=FALSE, kind="x")
+        with pytest.raises(AttributeError):
+            harness.kind = "y"
