@@ -17,6 +17,20 @@ import os
 
 import pytest
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``slow``.
+
+    The fast tier-1 core is then ``pytest -m "not slow"`` (or just
+    ``pytest tests/``); the full run still includes the benchmarks.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
+
+
 TRACES = int(os.environ.get("REPRO_TRACES", "30"))
 TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "30"))
 BUDGET = float(os.environ.get("REPRO_BUDGET", "90"))

@@ -35,6 +35,7 @@ class ConditionOutcome:
     inconclusive: bool = False
     spurious_excluded: int = 0
     solver_checks: int = 0
+    truncated: bool = False  # deadline expired mid-strengthening
 
 
 @dataclass
@@ -112,8 +113,19 @@ class CompletenessOracle:
             self._checker.add_base_constraint(domain_assumption)
 
     # ------------------------------------------------------------------
-    def check(self, condition: Condition) -> ConditionOutcome:
-        """Check one condition to a final verdict."""
+    def check(
+        self, condition: Condition, deadline: float | None = None
+    ) -> ConditionOutcome:
+        """Check one condition to a final verdict.
+
+        The ``deadline`` (``time.monotonic`` scale) is consulted between
+        spurious-strengthening rounds, not just between conditions: a
+        single churning condition would otherwise overshoot the
+        wall-clock budget by up to ``max_strengthenings`` solver rounds.
+        On expiry the pending counterexample is surfaced as
+        inconclusive-and-truncated, mirroring §III-C's
+        valid-but-recorded treatment.
+        """
         system = self._system
         assumption = (
             system.init
@@ -134,6 +146,17 @@ class CompletenessOracle:
                     solver_checks=solver_checks,
                 )
             v_t, v_t1 = result.counterexample
+            if deadline is not None and time.monotonic() > deadline:
+                return ConditionOutcome(
+                    condition=condition,
+                    holds=False,
+                    final_assumption=assumption,
+                    counterexample=(v_t, v_t1),
+                    inconclusive=True,
+                    spurious_excluded=spurious_excluded,
+                    solver_checks=solver_checks,
+                    truncated=True,
+                )
             if condition.kind is ConditionKind.INIT:
                 # v_0 |= Init is genuine by construction (§III-B).
                 verdict = SpuriousVerdict.VALID
@@ -165,12 +188,18 @@ class CompletenessOracle:
         """Check every condition; stops early when the deadline passes.
 
         A truncated report mirrors the paper's timeout rows: ``α`` is
-        computed over the conditions checked so far.
+        computed over the conditions checked so far.  The deadline also
+        cuts off a condition mid-strengthening (see :meth:`check`); the
+        partial outcome is kept so its counterexample is not lost.
         """
         report = OracleReport()
         for condition in conditions:
             if deadline is not None and time.monotonic() > deadline:
                 report.truncated = True
                 break
-            report.outcomes.append(self.check(condition))
+            outcome = self.check(condition, deadline=deadline)
+            report.outcomes.append(outcome)
+            if outcome.truncated:
+                report.truncated = True
+                break
         return report

@@ -29,7 +29,6 @@ from typing import Hashable, Sequence
 
 from ..automata.nfa import SymbolicNFA
 from ..expr.ast import Expr, Var, eq, land
-from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..system.valuation import Valuation
 from ..traces.trace import TraceSet
@@ -110,75 +109,124 @@ def identify_dfa(
     ``prefix_closed=True`` marks every prefix of a positive word as
     accepting (the execution-trace setting); leave it off for classic
     DFA identification where a rejected word may extend an accepted one.
+
+    The ``n → n+1`` search is incremental: one SAT solver instance
+    persists across sizes, the APT-structure clauses for colours
+    ``< n`` are never re-encoded, and refutations learned while proving
+    ``n`` colours insufficient carry over to the ``n+1`` search.
     """
     apt = _Apt()
     for word in positive:
         apt.insert(word, positive=True, prefix_closed=prefix_closed)
     for word in negative:
         apt.insert(word, positive=False)
-    alphabet = apt.alphabet()
-    for num_states in range(1, max_states + 1):
-        dfa = _identify_with(apt, alphabet, num_states)
+    search = _IncrementalDfaSearch(apt)
+    for _num_states in range(1, max_states + 1):
+        dfa = search.try_next_size()
         if dfa is not None:
             return dfa
     return None
 
 
-def _identify_with(
-    apt: _Apt, alphabet: list[Event], n: int
-) -> IdentifiedDfa | None:
-    cnf = CNF()
-    # x[v][i]: node v coloured i.
-    x = [[cnf.new_var() for _ in range(n)] for _ in range(apt.size)]
-    # y[a][i][j]: transition i --a--> j exists.
-    y = {
-        event: [[cnf.new_var() for _ in range(n)] for _ in range(n)]
-        for event in alphabet
-    }
-    for v in range(apt.size):
-        cnf.add_clause(x[v])  # at least one colour
-        for i, j in combinations(range(n), 2):
-            cnf.add_clause([-x[v][i], -x[v][j]])  # at most one
-    cnf.add_clause([x[0][0]])  # symmetry breaking: root is colour 0
-    # Determinism: at most one target colour per (event, source colour).
-    for event in alphabet:
-        for i in range(n):
-            for j, l in combinations(range(n), 2):
-                cnf.add_clause([-y[event][i][j], -y[event][i][l]])
-    # Parent constraints.
-    for v in range(1, apt.size):
-        parent, event = apt.parent[v]
-        for i in range(n):
-            for j in range(n):
-                # x[parent,i] ∧ x[v,j] -> y[event,i,j]
-                cnf.add_clause([-x[parent][i], -x[v][j], y[event][i][j]])
-                # y[event,i,j] ∧ x[parent,i] -> x[v,j]
-                cnf.add_clause([-y[event][i][j], -x[parent][i], x[v][j]])
-    # Accepting/rejecting separation.
-    accepting_nodes = [v for v in range(apt.size) if apt.label[v] is True]
-    rejecting_nodes = [v for v in range(apt.size) if apt.label[v] is False]
-    for acc in accepting_nodes:
-        for rej in rejecting_nodes:
+class _IncrementalDfaSearch:
+    """Heule-Verwer encoding grown one colour at a time.
+
+    All clauses are over a single persistent :class:`Solver`.  The only
+    size-dependent constraint -- "every node takes one of the first
+    ``n`` colours" -- cannot be widened in place, so each size adds a
+    fresh *at-least-one* clause block in a retractable clause group
+    that is retracted when the size is refuted.  Everything else
+    (colour exclusivity, determinism, parent constraints,
+    accepting/rejecting separation) is monotone in ``n`` and persists,
+    together with the solver's learned clauses.
+    """
+
+    def __init__(self, apt: _Apt):
+        self._apt = apt
+        self._alphabet = apt.alphabet()
+        self._accepting = [v for v in range(apt.size) if apt.label[v] is True]
+        self._rejecting = [v for v in range(apt.size) if apt.label[v] is False]
+        self.solver = Solver()
+        self._n = 0
+        # x[v][i]: node v coloured i.
+        self._x: list[list[int]] = [[] for _ in range(apt.size)]
+        # y[a][i][j]: transition i --a--> j exists.
+        self._y: dict[Event, list[list[int]]] = {e: [] for e in self._alphabet}
+
+    def _add_colour(self) -> None:
+        """Encode colour ``n`` on top of the existing ``n`` colours."""
+        apt, solver, n = self._apt, self.solver, self._n
+        for v in range(apt.size):
+            self._x[v].append(solver.new_var())
+        for event in self._alphabet:
+            grid = self._y[event]
             for i in range(n):
-                cnf.add_clause([-x[acc][i], -x[rej][i]])
-    result = Solver(cnf).solve()
-    if not result.satisfiable:
-        return None
-    colour = [
-        next(i for i in range(n) if result.value(x[v][i]))
-        for v in range(apt.size)
-    ]
-    transitions: dict[tuple[int, Event], int] = {}
-    for v in range(1, apt.size):
-        parent, event = apt.parent[v]
-        transitions[(colour[parent], event)] = colour[v]
-    accepting = frozenset(colour[v] for v in accepting_nodes)
-    return IdentifiedDfa(
-        num_states=n,
-        initial=0,
-        transitions=transitions,
-        accepting=accepting or frozenset(range(n)),
-    )
+                grid[i].append(solver.new_var())  # old row, new column
+            grid.append([solver.new_var() for _ in range(n + 1)])  # new row
+        if n == 0:
+            solver.add_clause([self._x[0][0]])  # symmetry: root is colour 0
+        for v in range(apt.size):
+            for i in range(n):  # at most one colour: new pairs only
+                solver.add_clause([-self._x[v][i], -self._x[v][n]])
+        # Determinism: at most one target colour per (event, source).
+        for event in self._alphabet:
+            grid = self._y[event]
+            for i in range(n):
+                for j in range(n):
+                    solver.add_clause([-grid[i][j], -grid[i][n]])
+            for j, l in combinations(range(n + 1), 2):
+                solver.add_clause([-grid[n][j], -grid[n][l]])
+        # Parent constraints: pairs (i, j) touching the new colour.
+        for v in range(1, apt.size):
+            parent, event = apt.parent[v]
+            grid = self._y[event]
+            for i in range(n + 1):
+                for j in range(n + 1):
+                    if i != n and j != n:
+                        continue
+                    # x[parent,i] ∧ x[v,j] -> y[event,i,j]
+                    solver.add_clause(
+                        [-self._x[parent][i], -self._x[v][j], grid[i][j]]
+                    )
+                    # y[event,i,j] ∧ x[parent,i] -> x[v,j]
+                    solver.add_clause(
+                        [-grid[i][j], -self._x[parent][i], self._x[v][j]]
+                    )
+        # Accepting/rejecting separation on the new colour.
+        for acc in self._accepting:
+            for rej in self._rejecting:
+                solver.add_clause([-self._x[acc][n], -self._x[rej][n]])
+        self._n = n + 1
+
+    def try_next_size(self) -> IdentifiedDfa | None:
+        """Search with one more colour; None if still unsatisfiable."""
+        self._add_colour()
+        apt, solver, n = self._apt, self.solver, self._n
+        # "At least one of the first n colours" is the only constraint
+        # that shrinks colour sets, so each size gets its own group,
+        # retracted on refutation so the stale block leaves the search.
+        group = solver.new_group()
+        for v in range(apt.size):
+            solver.add_clause(self._x[v], group=group)
+        result = solver.solve()
+        if not result.satisfiable:
+            solver.retract_group(group)
+            return None
+        colour = [
+            next(i for i in range(n) if result.value(self._x[v][i]))
+            for v in range(apt.size)
+        ]
+        transitions: dict[tuple[int, Event], int] = {}
+        for v in range(1, apt.size):
+            parent, event = apt.parent[v]
+            transitions[(colour[parent], event)] = colour[v]
+        accepting = frozenset(colour[v] for v in self._accepting)
+        return IdentifiedDfa(
+            num_states=n,
+            initial=0,
+            transitions=transitions,
+            accepting=accepting or frozenset(range(n)),
+        )
 
 
 class SatDfaLearner:

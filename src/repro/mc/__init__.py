@@ -4,7 +4,7 @@ Engines: one-step condition checks (Fig. 3a), BMC, k-induction, exact
 explicit-state reachability, and the spuriousness classifier (Fig. 3b).
 """
 
-from .bmc import bmc, bmc_single_query
+from .bmc import BoundedModelChecker, IncrementalUnroller, bmc, bmc_single_query
 from .condition_check import (
     IncrementalConditionChecker,
     check_condition,
@@ -24,7 +24,12 @@ from .harness import (
     spurious_harness,
     strengthened_assumption,
 )
-from .kinduction import k_induction, prove_unreachable, step_case_holds
+from .kinduction import (
+    KInductionEngine,
+    k_induction,
+    prove_unreachable,
+    step_case_holds,
+)
 from .symbolic import (
     BddCompiler,
     BddGateBuilder,
@@ -49,7 +54,10 @@ __all__ = [
     "BddCompiler",
     "BddGateBuilder",
     "BmcResult",
+    "BoundedModelChecker",
     "ConditionCheckResult",
+    "IncrementalUnroller",
+    "KInductionEngine",
     "ExplicitReachability",
     "ExplicitSpuriousness",
     "Harness",

@@ -8,6 +8,13 @@ every frame ``1..k``.
 This implements the *base case* of the Fig. 3b spuriousness check, and is
 also exposed on its own (tests use it as a reference reachability oracle
 for small bounds).
+
+The unrolling is *monotone*: :class:`IncrementalUnroller` owns one
+persistent :class:`~repro.smt.solver.SmtSolver` and only ever appends
+frames; per-depth ``bad`` probes run in push/pop scopes.  Growing the
+bound from ``k`` to ``k+1`` therefore encodes exactly one new frame
+instead of re-bit-blasting the whole prefix, and clauses the SAT core
+learned about frames ``0..k`` keep working at ``k+1``.
 """
 
 from __future__ import annotations
@@ -24,16 +31,77 @@ def _frame_var(system: SymbolicSystem, name: str, step: int) -> Var:
     return Var(f"{name}@{step}", system.var_by_name(name).sort)
 
 
+class IncrementalUnroller:
+    """Grow-only frame unrolling over a persistent solver.
+
+    Frames 0..depth are linked by ``R``; frame 0 is optionally pinned to
+    ``Init``.  :meth:`extend_to` is monotone and idempotent -- it encodes
+    only the frames not yet present, on the same backing solver.
+
+    Each frame's transition constraint sits behind its own guard
+    literal rather than being asserted outright: a probe at depth ``d``
+    assumes only guards ``1..d`` (:meth:`frame_assumptions`), so frames
+    unrolled for an earlier, deeper query do not over-constrain a
+    shallower one.  This matters for *partial* transition relations (a
+    state whose next-state expression leaves its sort range has no
+    successor): a permanently asserted frame ``d+1`` would force every
+    depth-``d`` model to be extendable, wrongly reporting dead-end
+    states unreachable.
+    """
+
+    def __init__(self, system: SymbolicSystem, assume_init: bool = True):
+        self._system = system
+        self.solver = SmtSolver()
+        self._depth = 0
+        self._frame_guards: list[int] = []
+        # Declare every frame variable up front: inputs the transition
+        # relation ignores must still exist so decoded traces are total.
+        for var in system.state_vars:
+            self.solver.declare(_frame_var(system, var.name, 0))
+        if assume_init:
+            self.solver.add(rename_step(system.init, 0, self._namer))
+
+    def _namer(self, name: str, step: int) -> Var:
+        return _frame_var(self._system, name, step)
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def extend_to(self, k: int) -> None:
+        """Encode any missing frames up to ``k`` (monotone)."""
+        if self.solver.scope_depth:
+            raise RuntimeError("cannot extend the unrolling inside a scope")
+        while self._depth < k:
+            step = self._depth + 1
+            for var in self._system.variables:
+                self.solver.declare(_frame_var(self._system, var.name, step))
+            self._frame_guards.append(
+                self.solver.literal(
+                    rename_step(self._system.trans, step - 1, self._namer)
+                )
+            )
+            self._depth = step
+
+    def frame_assumptions(self, k: int) -> list[int]:
+        """Guard literals activating transition frames 1..k."""
+        if k > self._depth:
+            raise ValueError(f"unrolled to {self._depth}, asked for {k}")
+        return self._frame_guards[:k]
+
+
 def unroll(
     system: SymbolicSystem, solver: SmtSolver, k: int, assume_init: bool = True
 ) -> None:
-    """Assert frames 0..k linked by R; optionally pin frame 0 to Init."""
+    """Assert frames 0..k linked by R; optionally pin frame 0 to Init.
+
+    One-shot variant kept for ad-hoc queries; the engines below use
+    :class:`IncrementalUnroller` so the encoding is shared across bounds.
+    """
 
     def namer(name: str, step: int) -> Var:
         return _frame_var(system, name, step)
 
-    # Declare every frame variable up front: inputs the transition
-    # relation ignores must still exist so decoded traces are total.
     for var in system.state_vars:
         solver.declare(_frame_var(system, var.name, 0))
     for step in range(1, k + 1):
@@ -67,26 +135,50 @@ def decode_trace(
     return observations
 
 
-def bmc(system: SymbolicSystem, bad: Expr, k: int) -> BmcResult:
-    """Is an observation satisfying ``bad`` reachable within ``k`` steps?
+class BoundedModelChecker:
+    """Persistent BMC engine for one system.
 
-    Checks depths incrementally (1, 2, ..., k) so the returned trace is a
-    shortest witness; returns the first hit.
+    Keeps an init-pinned :class:`IncrementalUnroller` alive across
+    queries, so checking many ``bad`` predicates (the spuriousness
+    checker pins a different counterexample state each time) shares one
+    unrolling and one learned-clause store.
     """
-    if k < 1:
+
+    def __init__(self, system: SymbolicSystem):
+        self._system = system
+        self._unroller = IncrementalUnroller(system, assume_init=True)
+
+    def check(self, bad: Expr, k: int) -> BmcResult:
+        """Is an observation satisfying ``bad`` reachable within ``k`` steps?
+
+        Checks depths incrementally (1, 2, ..., k) so the returned trace
+        is a shortest witness; returns the first hit.
+        """
+        if k < 1:
+            return BmcResult(reachable=False)
+        solver = self._unroller.solver
+        for depth in range(1, k + 1):
+            self._unroller.extend_to(depth)
+            solver.push()
+            try:
+                solver.add(observation_at(bad, self._system, depth))
+                if solver.check(
+                    assuming=self._unroller.frame_assumptions(depth)
+                ):
+                    model = solver.model()
+                    return BmcResult(
+                        reachable=True,
+                        depth=depth,
+                        trace=decode_trace(self._system, model, depth),
+                    )
+            finally:
+                solver.pop()
         return BmcResult(reachable=False)
-    for depth in range(1, k + 1):
-        solver = SmtSolver()
-        unroll(system, solver, depth)
-        solver.add(observation_at(bad, system, depth))
-        if solver.check():
-            model = solver.model()
-            return BmcResult(
-                reachable=True,
-                depth=depth,
-                trace=decode_trace(system, model, depth),
-            )
-    return BmcResult(reachable=False)
+
+
+def bmc(system: SymbolicSystem, bad: Expr, k: int) -> BmcResult:
+    """One-shot convenience wrapper over :class:`BoundedModelChecker`."""
+    return BoundedModelChecker(system).check(bad, k)
 
 
 def bmc_single_query(system: SymbolicSystem, bad: Expr, k: int) -> BmcResult:
@@ -97,12 +189,13 @@ def bmc_single_query(system: SymbolicSystem, bad: Expr, k: int) -> BmcResult:
     """
     if k < 1:
         return BmcResult(reachable=False)
-    solver = SmtSolver()
-    unroll(system, solver, k)
+    unroller = IncrementalUnroller(system, assume_init=True)
+    unroller.extend_to(k)
+    solver = unroller.solver
     solver.add(
         lor(*(observation_at(bad, system, step) for step in range(1, k + 1)))
     )
-    if not solver.check():
+    if not solver.check(assuming=unroller.frame_assumptions(k)):
         return BmcResult(reachable=False)
     model = solver.model()
     # Find the first frame where bad actually holds in this model.

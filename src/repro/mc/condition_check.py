@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from ..expr.ast import Expr, lnot
 from ..expr.subst import to_primed
-from ..smt.encoder import Encoder
 from ..smt.solver import SmtSolver
 from ..system.transition_system import SymbolicSystem
 from ..system.valuation import Valuation
@@ -26,25 +25,36 @@ from .verdicts import ConditionCheckResult
 
 
 class IncrementalConditionChecker:
-    """Condition checker that encodes the transition relation once.
+    """Condition checker over one persistent incremental solver.
 
     The active loop checks tens of conditions per iteration over the
     same system, and spurious-counterexample strengthening re-checks the
-    same condition with a growing assumption.  Re-bit-blasting ``R``
-    every time dominates runtime on the larger benchmarks, so this
-    checker keeps one encoder with ``sorts(X, X') ∧ R(X, X')`` (plus any
-    base constraints) asserted and rolls each query back afterwards.
+    same condition with a growing assumption ``r ← r ∧ ¬s'``.  This
+    checker asserts ``sorts(X, X') ∧ R(X, X')`` (plus any base
+    constraints) once on a single :class:`~repro.smt.solver.SmtSolver`
+    and poses each query in a push/pop scope: the query's ``assume`` and
+    ``¬s'`` become assumption literals on the *same* backing CDCL
+    instance, so watch lists, saved phases, variable activity and --
+    crucially -- every clause learned about ``R`` in earlier queries and
+    earlier strengthening rounds carry over.  Because the encoder
+    memoises by expression node, a strengthened assumption re-uses the
+    literals of all its earlier conjuncts, and lemmas mentioning them
+    re-apply immediately.
     """
 
     def __init__(self, system: SymbolicSystem):
         self._system = system
-        self._encoder = Encoder()
+        self._solver = SmtSolver()
         for var in system.variables:
-            self._encoder.declare(var)
-            self._encoder.declare(var.prime())
-        self._encoder.assert_expr(system.trans)
+            self._solver.declare(var)
+            self._solver.declare(var.prime())
+        self._solver.add(system.trans)
         self._sealed = False
-        self._mark = self._encoder.checkpoint()
+
+    @property
+    def backing_solver(self):
+        """The persistent CDCL solver (identity is stable across checks)."""
+        return self._solver.solver
 
     def add_base_constraint(self, expr: Expr) -> None:
         """Permanently assert ``expr`` (over the declared variables).
@@ -55,23 +65,19 @@ class IncrementalConditionChecker:
         """
         if self._sealed:
             raise RuntimeError("base constraints must precede queries")
-        self._encoder.assert_expr(expr)
-        self._mark = self._encoder.checkpoint()
+        self._solver.add(expr)
 
     def check(self, assume: Expr, conclusion: Expr) -> ConditionCheckResult:
-        """Same query as :func:`check_condition`, on the shared prefix."""
-        from ..sat.solver import Solver
-
+        """Same query as :func:`check_condition`, on the shared solver."""
         self._sealed = True
-        encoder = self._encoder
+        solver = self._solver
+        solver.push()
         try:
-            encoder.assert_expr(assume)
-            encoder.assert_expr(lnot(to_primed(conclusion)))
-            solver = Solver(encoder.cnf)
-            result = solver.solve()
-            if not result.satisfiable:
+            solver.add(assume)
+            solver.add(lnot(to_primed(conclusion)))
+            if not solver.check():
                 return ConditionCheckResult(holds=True, solver_checks=1)
-            model = encoder.decode_model(result.model)
+            model = solver.model()
             v_t = Valuation(
                 {var.name: model[var.name] for var in self._system.variables}
             )
@@ -85,7 +91,7 @@ class IncrementalConditionChecker:
                 holds=False, counterexample=(v_t, v_t1), solver_checks=1
             )
         finally:
-            encoder.rollback(self._mark)
+            solver.pop()
 
 
 def check_condition(

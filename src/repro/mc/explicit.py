@@ -30,20 +30,30 @@ class StateSpaceLimitExceeded(RuntimeError):
     """Raised when BFS touches more states than the configured budget."""
 
 
-_SHARED: dict[int, "ExplicitReachability"] = {}
+_ENGINE_ATTR = "_shared_reachability_engine"
 
 
 def shared_reachability(system: SymbolicSystem) -> "ExplicitReachability":
-    """Process-wide cache of reachability engines, keyed by system object.
+    """Per-system cache of reachability engines, keyed by object identity.
 
     Active-learning runs, baselines and witness generation all need the
     same BFS; benchmark systems live for the whole process (the library
     caches them), so sharing the explored table avoids re-exploration.
+
+    The engine is stored on the system instance itself rather than in a
+    module-level ``id()``-keyed dict: ids are recycled after garbage
+    collection, so a global table could hand a fresh system a dead
+    system's reachability table, and it would grow without bound.  The
+    attribute gives WeakValueDictionary-style lifetime (the cache entry
+    dies exactly when the system does) with exact identity semantics.
     """
-    key = id(system)
-    if key not in _SHARED:
-        _SHARED[key] = ExplicitReachability(system)
-    return _SHARED[key]
+    engine = getattr(system, _ENGINE_ATTR, None)
+    # ``engine._system is system`` guards against copied instances that
+    # inherited the attribute via ``__dict__`` duplication.
+    if engine is None or engine._system is not system:
+        engine = ExplicitReachability(system)
+        setattr(system, _ENGINE_ATTR, engine)
+    return engine
 
 
 class ExplicitReachability:
@@ -157,18 +167,24 @@ class ExplicitReachability:
     ) -> list[Valuation] | None:
         """Shortest observation sequence whose last element satisfies
         ``predicate``, scanning reachable states in BFS order with every
-        representative input."""
+        representative input.
+
+        Single pass over the BFS parents: each candidate state's final
+        observation is rebuilt directly from its own table entry, and a
+        full witness is reconstructed only for the first hit -- O(states
+        + diameter) instead of reconstructing a witness per state.
+        """
         self.explore()
         ordered = sorted(self._table.items(), key=lambda kv: kv[1][0])
-        for key, (depth, _parent, _inputs) in ordered:
+        for key, (depth, _parent, inputs) in ordered:
             if depth == 0:
                 # Initial state: observations start after the first step.
                 continue
             state_vals = dict(zip(self._state_names, key))
-            # Reconstruct the inputs that reached this state via witness().
-            trace = self.witness(state_vals)
-            assert trace is not None
-            if predicate(trace[-1]):
+            observation = self._system.observe(state_vals, inputs)
+            if predicate(observation):
+                trace = self.witness(state_vals)
+                assert trace is not None
                 return trace
         return None
 

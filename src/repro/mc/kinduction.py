@@ -13,42 +13,76 @@ step case alone is inconclusive: the induction may simply be too weak for
 the chosen ``k``.  This weakness is precisely what the paper's §III-C
 handles by recording inconclusive counterexamples, and what makes a poor
 choice of ``k`` add spurious behaviours to the learned model (§IV-B).
+
+:class:`KInductionEngine` is the incremental form: one base-case and one
+step-case unrolling per system, both grow-only, with per-property
+assertions posed in push/pop scopes.  The spuriousness checker proves a
+different pinned state unreachable on every call, so sharing the
+unrollings (and the SAT core's learned clauses) across those calls
+removes the dominant re-encoding cost.
 """
 
 from __future__ import annotations
 
 from ..expr.ast import Expr, lnot
-from ..smt.solver import SmtSolver
 from ..system.transition_system import SymbolicSystem
-from .bmc import bmc, observation_at, unroll
-from .verdicts import BmcResult, InductionOutcome, KInductionResult
+from .bmc import BoundedModelChecker, IncrementalUnroller, observation_at
+from .verdicts import InductionOutcome, KInductionResult
+
+
+class KInductionEngine:
+    """Persistent k-induction engine for one system."""
+
+    def __init__(self, system: SymbolicSystem):
+        self._system = system
+        self._bmc = BoundedModelChecker(system)
+        self._step = IncrementalUnroller(system, assume_init=False)
+
+    @property
+    def bmc_engine(self) -> BoundedModelChecker:
+        return self._bmc
+
+    def step_case_holds(self, safe: Expr, k: int) -> bool:
+        """The inductive step of k-induction.
+
+        Query: frames 0..k+1 from an *arbitrary* frame-0 state, assuming
+        ``safe`` at observations 1..k and ``¬safe`` at observation k+1.
+        Unsatisfiable means the step case holds.
+        """
+        self._step.extend_to(k + 1)
+        solver = self._step.solver
+        solver.push()
+        try:
+            for step in range(1, k + 1):
+                solver.add(observation_at(safe, self._system, step))
+            solver.add(observation_at(lnot(safe), self._system, k + 1))
+            return not solver.check(
+                assuming=self._step.frame_assumptions(k + 1)
+            )
+        finally:
+            solver.pop()
+
+    def k_induction(self, safe: Expr, k: int) -> KInductionResult:
+        """Attempt to prove ``safe`` invariant with bound ``k``."""
+        if k < 1:
+            raise ValueError(f"k-induction needs k >= 1, got {k}")
+        base = self._bmc.check(lnot(safe), k)
+        if base.reachable:
+            return KInductionResult(InductionOutcome.BASE_VIOLATED, bmc=base)
+        if self.step_case_holds(safe, k):
+            return KInductionResult(InductionOutcome.PROVED)
+        return KInductionResult(InductionOutcome.STEP_VIOLATED)
 
 
 def step_case_holds(system: SymbolicSystem, safe: Expr, k: int) -> bool:
-    """The inductive step of k-induction.
-
-    Query: frames 0..k+1 from an *arbitrary* frame-0 state, assuming
-    ``safe`` at observations 1..k and ``¬safe`` at observation k+1.
-    Unsatisfiable means the step case holds.
-    """
-    solver = SmtSolver()
-    unroll(system, solver, k + 1, assume_init=False)
-    for step in range(1, k + 1):
-        solver.add(observation_at(safe, system, step))
-    solver.add(observation_at(lnot(safe), system, k + 1))
-    return not solver.check()
+    """One-shot convenience wrapper; see :class:`KInductionEngine`."""
+    engine = KInductionEngine(system)
+    return engine.step_case_holds(safe, k)
 
 
 def k_induction(system: SymbolicSystem, safe: Expr, k: int) -> KInductionResult:
-    """Attempt to prove ``safe`` invariant with bound ``k``."""
-    if k < 1:
-        raise ValueError(f"k-induction needs k >= 1, got {k}")
-    base = bmc(system, lnot(safe), k)
-    if base.reachable:
-        return KInductionResult(InductionOutcome.BASE_VIOLATED, bmc=base)
-    if step_case_holds(system, safe, k):
-        return KInductionResult(InductionOutcome.PROVED)
-    return KInductionResult(InductionOutcome.STEP_VIOLATED)
+    """One-shot convenience wrapper; see :class:`KInductionEngine`."""
+    return KInductionEngine(system).k_induction(safe, k)
 
 
 def prove_unreachable(

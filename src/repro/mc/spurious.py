@@ -32,7 +32,7 @@ from ..expr.ast import Expr, eq, land
 from ..system.transition_system import SymbolicSystem
 from ..system.valuation import Valuation
 from .explicit import ExplicitReachability
-from .kinduction import k_induction
+from .kinduction import KInductionEngine
 from .verdicts import InductionOutcome, SpuriousVerdict
 
 
@@ -60,15 +60,22 @@ class SpuriousnessChecker(Protocol):
 
 
 class KInductionSpuriousness:
-    """Fig. 3b verbatim: k-induction proof that ``s'`` never holds."""
+    """Fig. 3b verbatim: k-induction proof that ``s'`` never holds.
+
+    Every classification pins a different counterexample state, but the
+    unrollings underneath are identical, so one persistent
+    :class:`~repro.mc.kinduction.KInductionEngine` serves all calls and
+    only the tiny pinned-state assertions change per query.
+    """
 
     def __init__(self, system: SymbolicSystem, state_only: bool = True):
         self._system = system
         self._state_only = state_only
+        self._engine = KInductionEngine(system)
 
     def classify(self, v_t: Valuation, k: int) -> SpuriousVerdict:
         bad = state_equality_formula(self._system, v_t, self._state_only)
-        result = k_induction(self._system, ~bad, k)
+        result = self._engine.k_induction(~bad, k)
         if result.outcome is InductionOutcome.PROVED:
             return SpuriousVerdict.SPURIOUS
         if result.outcome is InductionOutcome.BASE_VIOLATED:

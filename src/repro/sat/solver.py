@@ -10,10 +10,16 @@ A compact but complete conflict-driven clause-learning solver:
 
 This plays the role of the SAT core inside CBMC in the original tool
 chain.  It is deliberately dependency-free: the whole reproduction runs
-on a stock Python install.  Queries in this project are solved one-shot;
-"assumptions" are realised as unit clauses added before the search, which
-is equivalent for non-incremental use and keeps the search loop simple
-and auditable.
+on a stock Python install.
+
+The solver is *incremental* in the MiniSat sense: ``solve(assumptions)``
+enqueues each assumption as a decision on its own leading decision level
+and retracts them all before returning, so one solver instance answers
+many queries while learned clauses, watch lists, saved phases and VSIDS
+activity survive between calls.  ``add_clause`` may be called between
+solves, and clauses can be registered under *retractable groups*
+(activation literals) so a whole block of constraints can be switched
+off permanently with :meth:`Solver.retract_group`.
 """
 
 from __future__ import annotations
@@ -80,11 +86,19 @@ class Solver:
         self._learned: list[list[int]] = []
         self._max_learned = 4000
         self._ok = True
+        self._groups: dict[int, int] = {}  # group id -> activation literal
+        self._retired_groups: set[int] = set()
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.solve_calls = 0
         if cnf is not None:
             self.add_cnf(cnf)
+
+    @property
+    def num_learned(self) -> int:
+        """Learned clauses currently retained (survive across solves)."""
+        return len(self._learned)
 
     # ------------------------------------------------------------------
     # problem construction
@@ -111,12 +125,49 @@ class Solver:
         for clause in cnf.clauses:
             self.add_clause(clause)
 
-    def add_clause(self, lits: Iterable[int]) -> bool:
-        """Add a problem clause; returns False if the formula became UNSAT."""
+    # ------------------------------------------------------------------
+    # retractable clause groups
+    # ------------------------------------------------------------------
+    def new_group(self) -> int:
+        """Open a retractable clause group; returns its (opaque) id.
+
+        Clauses added with ``add_clause(..., group=gid)`` only constrain
+        the search while the group is active; :meth:`retract_group`
+        switches them off permanently.  Internally each group clause
+        carries the negated activation literal, and every solve assumes
+        the activation literals of all active groups, so learned clauses
+        record their group dependencies explicitly and stay sound after
+        retraction.
+        """
+        act = self.new_var()
+        self._groups[act] = act
+        return act
+
+    def retract_group(self, group: int) -> None:
+        """Permanently disable every clause added under ``group``."""
+        act = self._groups.pop(group, None)
+        if act is None:
+            if group in self._retired_groups:
+                return
+            raise ValueError(f"unknown clause group {group!r}")
+        self._retired_groups.add(group)
+        self.add_clause([-act])
+
+    def add_clause(self, lits: Iterable[int], group: int | None = None) -> bool:
+        """Add a problem clause; returns False if the formula became UNSAT.
+
+        With ``group`` the clause belongs to a retractable group from
+        :meth:`new_group`.  May be called between solves; the solver
+        always returns to decision level 0.
+        """
         if not self._ok:
             return False
         if self._trail_lim:
             raise RuntimeError("add_clause only allowed at decision level 0")
+        if group is not None:
+            if group not in self._groups:
+                raise ValueError(f"unknown or retired clause group {group!r}")
+            lits = list(lits) + [-self._groups[group]]
         clause: list[int] = []
         seen: set[int] = set()
         for lit in lits:
@@ -342,15 +393,28 @@ class Solver:
     # main search
     # ------------------------------------------------------------------
     def solve(self, assumptions: Sequence[int] = ()) -> SolveResult:
-        """Solve the formula; ``assumptions`` become level-0 units."""
-        for lit in assumptions:
-            if not self.add_clause([lit]):
-                break
+        """Solve under temporary ``assumptions`` (MiniSat-style).
+
+        Assumptions are enqueued as decisions on dedicated leading
+        decision levels and are fully retracted before returning, so
+        repeated calls with different (even conflicting) assumptions are
+        answered independently while learned clauses, saved phases and
+        activity persist.  An UNSAT answer under assumptions leaves the
+        solver usable; only a contradiction in the formula itself is
+        permanent.  Activation literals of active clause groups are
+        assumed implicitly.
+        """
+        self.solve_calls += 1
+        assumed = list(assumptions) + sorted(self._groups.values())
+        for lit in assumed:
+            if abs(lit) > self._num_vars:
+                self.ensure_vars(abs(lit))
         if not self._ok:
-            return SolveResult(False, conflicts=self.conflicts)
+            return self._result(False)
+        self._backtrack(0)
         if self._propagate() is not None:
             self._ok = False
-            return SolveResult(False, conflicts=self.conflicts)
+            return self._result(False)
         restart_count = 0
         conflicts_since_restart = 0
         restart_budget = 64 * luby(1)
@@ -374,12 +438,31 @@ class Solver:
                 self._backtrack(0)
                 self._reduce_learned()
                 continue
-            var = self._pick_branch_var()
-            if var == 0:
-                return self._result(True)
-            self.decisions += 1
+            lit = 0
+            while len(self._trail_lim) < len(assumed):
+                # Re-assert pending assumptions, one decision level each.
+                next_assumed = assumed[len(self._trail_lim)]
+                value = self._lit_value(next_assumed)
+                if value == _TRUE:
+                    self._trail_lim.append(len(self._trail))
+                elif value == _FALSE:
+                    # Assumptions conflict with the formula (or each
+                    # other): UNSAT *under assumptions* only.
+                    result = self._result(False)
+                    self._backtrack(0)
+                    return result
+                else:
+                    lit = next_assumed
+                    break
+            if lit == 0:
+                var = self._pick_branch_var()
+                if var == 0:
+                    result = self._result(True)
+                    self._backtrack(0)
+                    return result
+                self.decisions += 1
+                lit = var if self._phase[var] else -var
             self._trail_lim.append(len(self._trail))
-            lit = var if self._phase[var] else -var
             self._enqueue(lit, None)
 
     def _result(self, satisfiable: bool) -> SolveResult:

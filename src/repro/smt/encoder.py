@@ -204,66 +204,31 @@ class Encoder:
         raise TypeError(f"cannot encode integer node {type(expr).__name__}")
 
     def assert_expr(self, expr: Expr) -> None:
-        """Assert a Boolean expression as a constraint."""
-        self._declare_all(expr)
-        self.gates.assert_true(self.encode_bool(expr))
+        """Assert a Boolean expression as a permanent constraint."""
+        self.gates.assert_true(self.encode_literal(expr))
 
-    # ------------------------------------------------------------------
-    # checkpoint / rollback (incremental query support)
-    # ------------------------------------------------------------------
-    def checkpoint(self) -> tuple[int, int]:
-        """Snapshot the CNF extent; see :meth:`rollback`."""
-        return (self.cnf.num_vars, len(self.cnf.clauses))
+    def encode_literal(self, expr: Expr) -> int:
+        """Encode ``expr`` (declaring its free variables) without asserting.
 
-    def rollback(self, mark: tuple[int, int]) -> None:
-        """Drop everything encoded after ``mark``.
-
-        Clauses and variables beyond the checkpoint are discarded and
-        every memo entry that references a dropped variable is purged,
-        so the encoder can serve many queries over one shared prefix
-        (the model checker encodes the transition relation once and
-        rolls each condition query back afterwards).  Variables
-        *declared* after the checkpoint cannot be rolled back; queries
-        must only mention pre-declared variables.
+        The returned literal is constrained to be *equivalent* to the
+        expression, never to hold.  This is the incremental-query
+        primitive: :class:`~repro.smt.solver.SmtSolver` passes scoped
+        assertion literals as solver assumptions, so a query is retracted
+        by simply dropping its literal -- the gate definitions (which are
+        satisfiable on their own) stay behind and are shared with every
+        later query, as are all clauses the SAT core learned about them.
         """
-        num_vars, num_clauses = mark
-        if self.cnf.num_vars < num_vars or len(self.cnf.clauses) < num_clauses:
-            raise ValueError("rollback mark is ahead of the current state")
-        for name, lit in self._bool_vars.items():
-            if lit > num_vars:
-                raise ValueError(
-                    f"cannot roll back declaration of variable {name!r}"
-                )
-        for name, vec in self._int_vars.items():
-            if any(abs(bit) > num_vars for bit in vec.bits):
-                raise ValueError(
-                    f"cannot roll back declaration of variable {name!r}"
-                )
-        del self.cnf.clauses[num_clauses:]
-        self.cnf.num_vars = num_vars
-        self._bool_cache = {
-            expr: lit
-            for expr, lit in self._bool_cache.items()
-            if abs(lit) <= num_vars
-        }
-        self._int_cache = {
-            expr: vec
-            for expr, vec in self._int_cache.items()
-            if all(abs(bit) <= num_vars for bit in vec.bits)
-        }
-        gates = self.gates
-        gates._and_cache = {
-            key: lit for key, lit in gates._and_cache.items()
-            if abs(lit) <= num_vars
-        }
-        gates._or_cache = {
-            key: lit for key, lit in gates._or_cache.items()
-            if abs(lit) <= num_vars
-        }
-        gates._xor_cache = {
-            key: lit for key, lit in gates._xor_cache.items()
-            if abs(lit) <= num_vars
-        }
+        self._declare_all(expr)
+        return self.encode_bool(expr)
+
+    def clause_cursor(self) -> int:
+        """Number of clauses encoded so far (for incremental feeding).
+
+        A consumer that keeps a persistent SAT solver remembers the
+        cursor after each sync and feeds only ``cnf.clauses[cursor:]``
+        next time; the encoder itself never discards clauses.
+        """
+        return len(self.cnf.clauses)
 
     # ------------------------------------------------------------------
     # model decoding

@@ -1,9 +1,18 @@
 """SMT-style solver facade over the bit-blaster and the CDCL solver.
 
 The model checker formulates queries as conjunctions of expression-level
-assertions; :class:`SmtSolver` bit-blasts them into one CNF and solves.
-Satisfying assignments decode back into valuations of the original
-variables, which become counterexample observations.
+assertions; :class:`SmtSolver` bit-blasts them and solves.  Satisfying
+assignments decode back into valuations of the original variables, which
+become counterexample observations.
+
+The facade is genuinely incremental: it keeps **one** backing
+:class:`~repro.sat.solver.Solver` for its whole lifetime and feeds it
+only the clauses encoded since the previous ``check``.  Scoped queries
+use :meth:`push`/:meth:`pop`: assertions inside a scope are *not* turned
+into unit clauses but into assumption literals for the next solve, so
+popping a scope costs nothing and everything the SAT core learned --
+including lemmas about the scoped assertions themselves, which the
+encoder memoises by expression node -- is reused by later queries.
 """
 
 from __future__ import annotations
@@ -18,26 +27,111 @@ class SmtSolver:
 
     def __init__(self) -> None:
         self._encoder = Encoder()
-        self._asserted: list[Expr] = []
+        self._solver = Solver()
+        self._fed_clauses = 0
+        # Stack of open scopes: each holds the assumption literals of its
+        # scoped assertions plus a trivial-unsat flag (assertion encoded
+        # to constant false).
+        self._scopes: list[tuple[list[int], bool]] = []
         self._last_model: dict[str, int] | None = None
         self.stats = {"checks": 0, "conflicts": 0, "decisions": 0}
+
+    @property
+    def solver(self) -> Solver:
+        """The persistent backing SAT solver (stable across checks)."""
+        return self._solver
+
+    @property
+    def encoder(self) -> Encoder:
+        return self._encoder
 
     def declare(self, var: Var) -> None:
         """Pre-declare a variable (useful so models mention all of X)."""
         self._encoder.declare(var)
 
+    # ------------------------------------------------------------------
+    # assertions and scopes
+    # ------------------------------------------------------------------
     def add(self, expr: Expr) -> None:
-        """Assert ``expr`` (Boolean) as a constraint."""
-        self._asserted.append(expr)
-        self._encoder.assert_expr(expr)
+        """Assert ``expr`` (Boolean) as a constraint.
 
-    def check(self) -> bool:
-        """True iff the asserted constraints are satisfiable."""
+        Outside any scope the assertion is permanent; inside the
+        innermost scope it lives until the matching :meth:`pop`.
+        """
+        lit = self._encoder.encode_literal(expr)
+        if not self._scopes:
+            self._encoder.gates.assert_true(lit)
+            return
+        const = self._encoder.gates.is_const(lit)
+        lits, unsat = self._scopes[-1]
+        if const is True:
+            return
+        if const is False:
+            self._scopes[-1] = (lits, True)
+            return
+        lits.append(lit)
+
+    def literal(self, expr: Expr) -> int:
+        """Encode ``expr`` to a guard literal without asserting it.
+
+        The literal is constrained to be *equivalent* to the expression;
+        pass it to ``check(assuming=...)`` to enable the constraint for
+        a single query.  Unlike scoped assertions, guard literals are
+        caller-managed, which lets consumers keep stable per-constraint
+        switches across many scopes (e.g. the unroller's per-frame
+        transition guards).
+        """
+        return self._encoder.encode_literal(expr)
+
+    def push(self) -> None:
+        """Open a retractable assertion scope."""
+        self._scopes.append(([], False))
+
+    def pop(self) -> None:
+        """Drop the innermost scope and its assertions."""
+        if not self._scopes:
+            raise RuntimeError("pop without matching push")
+        self._scopes.pop()
+
+    @property
+    def scope_depth(self) -> int:
+        return len(self._scopes)
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Feed the solver every clause encoded since the last sync."""
+        cnf = self._encoder.cnf
+        self._solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses[self._fed_clauses :]:
+            self._solver.add_clause(clause)
+        self._fed_clauses = self._encoder.clause_cursor()
+
+    @property
+    def clauses_fed(self) -> int:
+        """Total clauses handed to the backing solver so far."""
+        return self._fed_clauses
+
+    def check(self, assuming: "list[int] | tuple[int, ...]" = ()) -> bool:
+        """True iff the asserted constraints are satisfiable.
+
+        ``assuming`` adds guard literals from :meth:`literal` for this
+        query only.
+        """
         self.stats["checks"] += 1
-        solver = Solver(self._encoder.cnf)
-        result = solver.solve()
-        self.stats["conflicts"] += result.conflicts
-        self.stats["decisions"] += result.decisions
+        self._sync()
+        if any(unsat for _lits, unsat in self._scopes):
+            self._last_model = None
+            return False
+        assumptions = [
+            lit for lits, _unsat in self._scopes for lit in lits
+        ] + list(assuming)
+        conflicts_before = self._solver.conflicts
+        decisions_before = self._solver.decisions
+        result = self._solver.solve(assumptions)
+        self.stats["conflicts"] += self._solver.conflicts - conflicts_before
+        self.stats["decisions"] += self._solver.decisions - decisions_before
         if result.satisfiable:
             self._last_model = self._encoder.decode_model(result.model)
         else:

@@ -1,0 +1,104 @@
+"""Equivalence suite: incremental checker vs. one-shot condition check.
+
+For every stateflow library system, the persistent-solver
+:class:`IncrementalConditionChecker` must return the same verdict as the
+one-shot :func:`check_condition` path on the same queries, and any
+counterexample it produces must be a genuine one: a real ``R``-step
+whose start satisfies the assumption and whose successor violates the
+conclusion.  (Counterexample *pairs* need not be bit-identical -- two
+correct solvers may pick different models -- so they are compared
+semantically.)
+"""
+
+import pytest
+
+from repro.expr import FALSE, TRUE, land, lnot, lor
+from repro.expr.eval import holds
+from repro.mc import check_condition
+from repro.mc.condition_check import IncrementalConditionChecker
+from repro.stateflow.library import benchmark_names, get_benchmark
+
+
+def _conditions_for(system):
+    """A small, discriminating query set over a system's observables.
+
+    Mixes conditions that hold (sort-range conclusions, self-implied
+    assumptions) with ones that are violated (FALSE conclusions, pinned
+    successors), touching every state variable.
+    """
+    queries = [(TRUE, TRUE), (TRUE, FALSE)]
+    for var in system.state_vars:
+        init_value = system.init_state[var.name]
+        # Holds: one step from anywhere stays within the sort's range
+        # (the encoder asserts range constraints on both frames).
+        if var.sort.is_bool():
+            in_range = lor(var, lnot(var))
+        else:
+            lo, hi = _sort_bounds(var)
+            in_range = land(var >= lo, var <= hi)
+        queries.append((TRUE, in_range))
+        # Usually violated: the variable may not stay pinned to its
+        # initial value across every transition.
+        queries.append((var.eq(init_value), var.eq(init_value)))
+        # Violated for any system with >1 reachable value: successors
+        # never all collapse onto a single value *and* its complement.
+        queries.append((TRUE, lnot(var.eq(init_value))))
+    return queries
+
+
+def _sort_bounds(var):
+    sort = var.sort
+    if hasattr(sort, "lo"):
+        return sort.lo, sort.hi
+    return 0, sort.cardinality - 1  # enum
+
+
+def _assert_genuine_counterexample(system, assume, conclusion, pair):
+    v_t, v_t1 = pair
+    assert holds(assume, dict(v_t)), "counterexample start violates assume"
+    assert not holds(conclusion, dict(v_t1)), "successor satisfies conclusion"
+    # The pair must be a genuine R-step: stepping v_t's state part with
+    # v_t1's inputs reproduces v_t1's state part.
+    state = {var.name: v_t[var.name] for var in system.state_vars}
+    inputs = {var.name: v_t1[var.name] for var in system.input_vars}
+    stepped = system.step(state, inputs)
+    for var in system.state_vars:
+        assert stepped[var.name] == v_t1[var.name], (
+            f"not an R-step on {var.name}"
+        )
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_incremental_matches_oneshot(name):
+    system = get_benchmark(name).system
+    checker = IncrementalConditionChecker(system)
+    backing = checker.backing_solver
+    for assume, conclusion in _conditions_for(system):
+        incremental = checker.check(assume, conclusion)
+        oneshot = check_condition(system, assume, conclusion)
+        assert incremental.holds == oneshot.holds, (
+            f"{name}: verdict mismatch on assume={assume}, "
+            f"conclusion={conclusion}"
+        )
+        if not incremental.holds:
+            _assert_genuine_counterexample(
+                system, assume, conclusion, incremental.counterexample
+            )
+            _assert_genuine_counterexample(
+                system, assume, conclusion, oneshot.counterexample
+            )
+    # All queries ran on one persistent CDCL instance.
+    assert checker.backing_solver is backing
+
+
+def test_disjunctive_conclusions_agree(two_phase):
+    """Spot-check richer conclusions (the shape extract_conditions emits:
+    disjunctions of outgoing transition predicates)."""
+    phase = two_phase.var_by_name("phase")
+    cycles = two_phase.var_by_name("cycles")
+    checker = IncrementalConditionChecker(two_phase)
+    conclusion = lor(phase.eq("A"), land(phase.eq("B"), cycles <= 3))
+    for assume in (TRUE, phase.eq("A"), land(phase.eq("B"), cycles.eq(1))):
+        incremental = checker.check(assume, conclusion)
+        oneshot = check_condition(two_phase, assume, conclusion)
+        assert incremental.holds == oneshot.holds

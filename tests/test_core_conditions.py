@@ -206,3 +206,100 @@ class TestOracle:
         report = oracle.check_all(conditions, deadline=time.monotonic() - 1)
         assert report.truncated
         assert len(report.outcomes) < len(conditions)
+
+    def test_deadline_cuts_mid_strengthening(self):
+        """Regression: the deadline used to be tested only *between*
+        conditions, so one churning condition could overrun the budget
+        by max_strengthenings solver rounds."""
+        import time
+
+        from repro.core import Condition
+        from repro.expr import ite
+        from repro.system import make_system
+
+        x = Var("x", int_sort(0, 7))
+        evens = make_system(
+            "evens_deadline", [x], [], {"x": 0}, {x: ite(x < 6, x + 2, 0)}
+        )
+        condition = Condition(
+            kind=ConditionKind.STEP,
+            state=0,
+            state_name="odd",
+            # Four unreachable odd states: four churn rounds if unchecked.
+            assumption=(x.eq(1) | x.eq(3)) | (x.eq(5) | x.eq(7)),
+            conclusion=FALSE,
+        )
+        oracle = CompletenessOracle(
+            evens, ExplicitSpuriousness(evens, respect_k=False), k=4
+        )
+        outcome = oracle.check(condition, deadline=time.monotonic() - 1)
+        assert outcome.truncated
+        assert not outcome.holds
+        assert outcome.inconclusive
+        assert outcome.counterexample is not None
+        assert outcome.spurious_excluded == 0  # cut before the first round
+
+        # ...and check_all propagates the mid-condition truncation.
+        future = time.monotonic() + 60
+        full = oracle.check(condition, deadline=future)
+        assert full.holds and full.spurious_excluded == 4
+
+    def test_check_all_keeps_truncated_outcome(self):
+        import time
+
+        from repro.core import Condition
+        from repro.expr import ite
+        from repro.system import make_system
+
+        x = Var("x", int_sort(0, 7))
+        evens = make_system(
+            "evens_truncated", [x], [], {"x": 0}, {x: ite(x < 6, x + 2, 0)}
+        )
+
+        class SlowSpurious:
+            """Classifier that burns past the deadline on first use."""
+
+            def __init__(self, inner, clock):
+                self._inner = inner
+                self._clock = clock
+
+            def classify(self, v_t, k):
+                self._clock["now"] += 100.0
+                return self._inner.classify(v_t, k)
+
+        clock = {"now": time.monotonic()}
+        oracle = CompletenessOracle(
+            evens,
+            SlowSpurious(ExplicitSpuriousness(evens, respect_k=False), clock),
+            k=4,
+        )
+        real_monotonic = time.monotonic
+        conditions = [
+            Condition(
+                kind=ConditionKind.STEP,
+                state=0,
+                state_name="odd",
+                assumption=x.eq(1) | x.eq(3),
+                conclusion=x.eq(0),
+            ),
+            Condition(
+                kind=ConditionKind.STEP,
+                state=0,
+                state_name="even",
+                assumption=x.eq(0),
+                conclusion=x.eq(2) | x.eq(0),
+            ),
+        ]
+        import unittest.mock
+
+        with unittest.mock.patch(
+            "repro.core.oracle.time.monotonic", lambda: clock["now"]
+        ):
+            report = oracle.check_all(
+                conditions, deadline=real_monotonic() + 50
+            )
+        # The first condition churned past the budget: its partial
+        # outcome is kept, the second condition is never started.
+        assert report.truncated
+        assert len(report.outcomes) == 1
+        assert report.outcomes[0].truncated

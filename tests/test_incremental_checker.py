@@ -84,6 +84,74 @@ class TestEquivalence:
             checker.add_base_constraint(count <= 3)
 
 
+class TestSolverReuse:
+    def test_one_backing_solver_across_queries(self, counter):
+        """The whole point of the incremental checker: every query --
+        including strengthening re-checks -- runs on one CDCL instance."""
+        count = counter.var_by_name("c")
+        checker = IncrementalConditionChecker(counter)
+        backing = checker.backing_solver
+        assumption = count >= 0
+        for excluded in range(3):
+            result = checker.check(assumption, count <= 3)
+            assert checker.backing_solver is backing
+            if result.holds:
+                break
+            v_t, _v_t1 = result.counterexample
+            # Strengthen exactly like the oracle does on spurious verdicts.
+            assumption = land(assumption, lnot(count.eq(v_t["c"])))
+        assert backing.solve_calls == excluded + 1
+
+    def test_learned_clauses_survive_strengthening_rounds(self, two_phase):
+        phase = two_phase.var_by_name("phase")
+        cycles = two_phase.var_by_name("cycles")
+        checker = IncrementalConditionChecker(two_phase)
+        backing = checker.backing_solver
+        assumption = cycles >= 0
+        learned_seen = []
+        for _round in range(4):
+            result = checker.check(assumption, land(cycles <= 2, phase.eq("A")))
+            learned_seen.append(backing.num_learned)
+            if result.holds:
+                break
+            v_t, _ = result.counterexample
+            assumption = land(
+                assumption,
+                lnot(land(cycles.eq(v_t["cycles"]), phase.eq(v_t["phase"]))),
+            )
+        # Lemmas accumulated in earlier rounds are still loaded later.
+        assert all(b >= a for a, b in zip(learned_seen, learned_seen[1:]))
+
+    def test_oracle_strengthening_reuses_one_solver(self):
+        """End-to-end: the completeness oracle's spurious-exclusion loop
+        must not rebuild solver state between rounds."""
+        from repro.core import Condition, ConditionKind, CompletenessOracle
+        from repro.expr import int_sort, ite
+        from repro.mc import ExplicitSpuriousness
+        from repro.system import make_system
+
+        x = Var("x", int_sort(0, 3))
+        evens = make_system(
+            "evens_reuse", [x], [], {"x": 0}, {x: ite(x < 2, x + 2, x)}
+        )
+        condition = Condition(
+            kind=ConditionKind.STEP,
+            state=0,
+            state_name="odd",
+            assumption=x.eq(1) | x.eq(3),
+            conclusion=x.eq(0),
+        )
+        oracle = CompletenessOracle(
+            evens, ExplicitSpuriousness(evens, respect_k=False), k=4
+        )
+        backing = oracle._checker.backing_solver
+        outcome = oracle.check(condition)
+        assert outcome.holds and outcome.spurious_excluded == 2
+        assert oracle._checker.backing_solver is backing
+        # One solve per round: initial check + one per exclusion.
+        assert backing.solve_calls == 3
+
+
 def _saturating_counter():
     from repro.expr import BOOL, ite
     from repro.system import make_system

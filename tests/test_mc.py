@@ -246,6 +246,119 @@ class TestExplicitReachability:
         with pytest.raises(StateSpaceLimitExceeded):
             reach.explore()
 
+    def test_persistent_engine_sound_for_partial_relations(self):
+        """Regression: a probe at depth d on a persistent engine must not
+        be constrained by frames unrolled for an earlier, deeper query.
+
+        With a *partial* R (state 1 below has no in-range successor), a
+        permanently asserted deeper frame would force depth-d models to
+        be extendable and wrongly report dead-end states unreachable."""
+        from repro.expr import BOOL, eq, int_sort, ite
+        from repro.mc import BoundedModelChecker
+        from repro.system import make_system
+
+        x = Var("x", int_sort(0, 7))
+        b = Var("b", BOOL)
+        # 0 -> 1 or 2; 1 -> x+10 (out of range: dead end); 2 -> 2.
+        system = make_system(
+            "partial", [x], [b], {"x": 0},
+            {x: ite(eq(x, 0), ite(b.prime(), 1, 2), ite(eq(x, 1), x + 10, x))},
+        )
+        engine = BoundedModelChecker(system)
+        # Deep query first: unrolls the shared frames to depth 4.
+        assert not engine.check(eq(x, 7), k=4).reachable
+        # Shallow query after: x=1 is reachable in one step even though
+        # it has no successor.
+        result = engine.check(eq(x, 1), k=4)
+        assert result.reachable and result.depth == 1
+
+    def test_step_case_sound_after_larger_k(self):
+        """Same root cause on the step-case unroller: shrinking k must
+        not leave deeper frames active."""
+        from repro.expr import BOOL, eq, int_sort, ite, lnot
+        from repro.mc import KInductionEngine
+        from repro.system import make_system
+
+        x = Var("x", int_sort(0, 15))
+        b = Var("b", BOOL)
+        # 3 -> 0 -> {1, 2}; 1 -> x+20 (out of range: dead end); else stay.
+        system = make_system(
+            "partial_step", [x], [b], {"x": 3},
+            {
+                x: ite(
+                    eq(x, 0),
+                    ite(b.prime(), 1, 2),
+                    ite(eq(x, 1), x + 20, ite(eq(x, 3), 0, x)),
+                )
+            },
+        )
+        engine = KInductionEngine(system)
+        safe = lnot(eq(x, 1))
+        engine.step_case_holds(safe, k=3)  # unrolls step frames to 4
+        # The k=1 step case genuinely fails (3 -> 0 -> 1 with 0 |= safe),
+        # but the counterexample ends in the dead-end state 1: a stale
+        # active frame would demand a successor and flip the verdict.
+        from repro.mc import step_case_holds
+
+        assert not step_case_holds(system, safe, k=1)  # fresh reference
+        assert not engine.step_case_holds(safe, k=1)
+
+    def test_find_observation_returns_shortest(self, two_phase):
+        reach = ExplicitReachability(two_phase)
+        trace = reach.find_observation(lambda o: o["cycles"] == 2)
+        assert trace is not None
+        assert trace[-1]["cycles"] == 2
+        assert two_phase.is_execution(trace)
+        assert len(trace) == reach.reachable_depth(
+            {name: trace[-1][name] for name in ("phase", "cycles")}
+        )
+
+
+class TestSharedReachability:
+    def test_identity_cache(self, counter, two_phase):
+        from repro.mc import shared_reachability
+
+        assert shared_reachability(counter) is shared_reachability(counter)
+        assert shared_reachability(counter) is not shared_reachability(
+            two_phase
+        )
+
+    def test_cache_dies_with_the_system(self):
+        """Regression: the engine cache must not outlive its system.
+
+        The old module-level dict keyed by ``id(system)`` leaked every
+        engine forever, and a recycled id could hand a fresh system a
+        dead system's reachability table."""
+        import gc
+        import weakref
+
+        from repro.expr import Var, int_sort, ite
+        from repro.mc import shared_reachability
+        from repro.system import make_system
+
+        x = Var("x", int_sort(0, 3))
+        system = make_system(
+            "ephemeral", [x], [], {"x": 0}, {x: ite(x < 3, x + 1, 0)}
+        )
+        engine = shared_reachability(system)
+        assert engine.num_states == 4
+        engine_ref = weakref.ref(engine)
+        del system, engine
+        gc.collect()
+        assert engine_ref() is None
+
+    def test_copied_system_gets_its_own_engine(self, counter):
+        import copy
+
+        from repro.mc import shared_reachability
+
+        original_engine = shared_reachability(counter)
+        clone = copy.copy(counter)
+        # A shallow copy duplicates __dict__, including the cached
+        # engine attribute; the cache must detect the identity mismatch.
+        assert shared_reachability(clone) is not original_engine
+        assert shared_reachability(clone)._system is clone
+
 
 class TestSpuriousness:
     def test_state_equality_formula(self, cooler):

@@ -1,0 +1,258 @@
+"""Tests for the solver's incremental interface.
+
+Assumptions must behave as retractable decisions (MiniSat semantics),
+never as permanent unit clauses: repeated solves under different -- even
+mutually contradictory -- assumptions must each be answered as if posed
+to a fresh solver, while learned clauses, phases and activity survive
+between the calls.  Clause groups add permanent retraction on top.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, Solver, check_model, solve_cnf
+
+
+def brute_force_sat(cnf: CNF, assumptions=()) -> bool:
+    """Reference: enumerate all assignments (for small formulas)."""
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, cnf.num_vars + 1)}
+        if not all(assignment[abs(a)] == (a > 0) for a in assumptions):
+            continue
+        if check_model(cnf, assignment):
+            return True
+    return False
+
+
+def pigeonhole_cnf(pigeons: int, holes: int) -> CNF:
+    cnf = CNF()
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[p, h] = cnf.new_var()
+    for p in range(pigeons):
+        cnf.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var[p1, h], -var[p2, h]])
+    return cnf
+
+
+class TestRepeatedSolves:
+    def test_conflicting_assumptions_answered_independently(self):
+        """Regression: assumptions used to become permanent unit clauses,
+        so the second solve was answered against a corrupted formula."""
+        cnf = CNF()
+        x, y = cnf.new_vars(2)
+        cnf.add_clause([x, y])
+        solver = Solver(cnf)
+        first = solver.solve(assumptions=[-x])
+        assert first.satisfiable and first.value(y) is True
+        second = solver.solve(assumptions=[x, -y])
+        assert second.satisfiable
+        assert second.value(x) is True and second.value(y) is False
+        third = solver.solve(assumptions=[-x, -y])
+        assert not third.satisfiable
+        # The solver must remain fully usable after an UNSAT answer.
+        fourth = solver.solve(assumptions=[-x])
+        assert fourth.satisfiable and fourth.value(y) is True
+
+    def test_assumption_retraction_leaves_no_residue(self):
+        cnf = CNF()
+        x = cnf.new_var()
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[x]).value(x) is True
+        assert solver.solve(assumptions=[-x]).value(x) is False
+        result = solver.solve()
+        assert result.satisfiable  # unconstrained: either phase fine
+
+    def test_unsat_under_assumptions_is_not_permanent(self):
+        cnf = CNF()
+        x, y = cnf.new_vars(2)
+        cnf.add_clause([x, y])
+        cnf.add_clause([-x, y])
+        solver = Solver(cnf)
+        assert not solver.solve(assumptions=[-y]).satisfiable
+        result = solver.solve()
+        assert result.satisfiable and result.value(y) is True
+
+    def test_contradictory_assumption_pair(self):
+        cnf = CNF()
+        x = cnf.new_var()
+        solver = Solver(cnf)
+        assert not solver.solve(assumptions=[x, -x]).satisfiable
+        assert solver.solve().satisfiable
+
+    def test_model_respects_assumptions_and_formula(self):
+        rng = random.Random(7)
+        for _trial in range(30):
+            num_vars = rng.randint(3, 8)
+            cnf = CNF()
+            cnf.new_vars(num_vars)
+            for _ in range(rng.randint(2, 25)):
+                clause_vars = rng.sample(
+                    range(1, num_vars + 1), k=min(3, num_vars)
+                )
+                cnf.add_clause(
+                    [v if rng.random() < 0.5 else -v for v in clause_vars]
+                )
+            solver = Solver(cnf)
+            for _query in range(6):
+                assumed = [
+                    v if rng.random() < 0.5 else -v
+                    for v in rng.sample(
+                        range(1, num_vars + 1), k=rng.randint(0, num_vars)
+                    )
+                ]
+                expected = brute_force_sat(cnf, assumed)
+                result = solver.solve(assumptions=assumed)
+                assert result.satisfiable == expected
+                if result.satisfiable:
+                    assert check_model(cnf, result.model)
+                    assert all(result.lit_true(a) for a in assumed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_hypothesis_solve_sequences(self, data):
+        """Random formula, random sequence of assumption sets: every
+        answer must match a fresh-solver brute force."""
+        num_vars = data.draw(st.integers(2, 6))
+        literals = st.integers(1, num_vars).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        )
+        clauses = data.draw(
+            st.lists(
+                st.lists(literals, min_size=1, max_size=3),
+                min_size=1,
+                max_size=15,
+            )
+        )
+        queries = data.draw(
+            st.lists(
+                st.lists(literals, min_size=0, max_size=num_vars),
+                min_size=2,
+                max_size=5,
+            )
+        )
+        cnf = CNF()
+        cnf.new_vars(num_vars)
+        for clause in clauses:
+            cnf.add_clause(clause)
+        solver = Solver(cnf)
+        for assumed in queries:
+            consistent = {abs(a): a > 0 for a in assumed}
+            if any(consistent[abs(a)] != (a > 0) for a in assumed):
+                expected = False  # self-contradictory assumption set
+            else:
+                expected = brute_force_sat(cnf, assumed)
+            assert solver.solve(assumptions=assumed).satisfiable == expected
+
+
+class TestIncrementalGrowth:
+    def test_add_clause_between_solves(self):
+        cnf = CNF()
+        x, y = cnf.new_vars(2)
+        cnf.add_clause([x, y])
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[-x]).satisfiable
+        assert solver.add_clause([-y])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.value(x) is True and result.value(y) is False
+        assert not solver.solve(assumptions=[-x]).satisfiable
+
+    def test_learned_clauses_survive_across_queries(self):
+        """Refuting PHP under an activation literal must leave lemmas
+        behind that make the second refutation cheaper."""
+        php = pigeonhole_cnf(5, 4)
+        solver = Solver()
+        group = solver.new_group()
+        solver.ensure_vars(php.num_vars)
+        for clause in php.clauses:
+            solver.add_clause(clause, group=group)
+        first = solver.solve()
+        conflicts_first = solver.conflicts
+        assert not first.satisfiable
+        assert solver.num_learned > 0
+        learned_after_first = solver.num_learned
+        second = solver.solve()
+        assert not second.satisfiable
+        conflicts_second = solver.conflicts - conflicts_first
+        # The second run replays the stored refutation: it must not do
+        # more search than the first, and the lemma store persists.
+        assert conflicts_second <= conflicts_first
+        assert solver.num_learned >= learned_after_first
+
+    def test_unsat_result_carries_search_counters(self):
+        """Regression: UNSAT results used to zero decisions/propagations."""
+        result = solve_cnf(pigeonhole_cnf(4, 3))
+        assert not result.satisfiable
+        assert result.propagations > 0
+        assert result.decisions > 0
+
+    def test_unsat_under_assumptions_carries_counters(self):
+        cnf = CNF()
+        x, y = cnf.new_vars(2)
+        cnf.add_clause([x, y])
+        solver = Solver(cnf)
+        result = solver.solve(assumptions=[-x, -y])
+        assert not result.satisfiable
+        assert result.propagations > 0
+
+
+class TestClauseGroups:
+    def test_group_retraction(self):
+        solver = Solver()
+        x = solver.new_var()
+        group = solver.new_group()
+        solver.add_clause([x], group=group)
+        solver.add_clause([-x])
+        assert not solver.solve().satisfiable  # group active: x ∧ ¬x
+        solver.retract_group(group)
+        result = solver.solve()
+        assert result.satisfiable and result.value(x) is False
+
+    def test_groups_compose_with_assumptions(self):
+        solver = Solver()
+        x, y = solver.new_var(), solver.new_var()
+        group = solver.new_group()
+        solver.add_clause([x, y], group=group)
+        assert not solver.solve(assumptions=[-x, -y]).satisfiable
+        solver.retract_group(group)
+        assert solver.solve(assumptions=[-x, -y]).satisfiable
+
+    def test_independent_groups(self):
+        solver = Solver()
+        x = solver.new_var()
+        said_true = solver.new_group()
+        said_false = solver.new_group()
+        solver.add_clause([x], group=said_true)
+        solver.add_clause([-x], group=said_false)
+        assert not solver.solve().satisfiable  # both active
+        solver.retract_group(said_false)
+        result = solver.solve()
+        assert result.satisfiable and result.value(x) is True
+
+    def test_add_to_unknown_group_rejected(self):
+        solver = Solver()
+        solver.new_var()
+        with pytest.raises(ValueError):
+            solver.add_clause([1], group=999)
+
+    def test_retract_unknown_group_rejected(self):
+        solver = Solver()
+        with pytest.raises(ValueError):
+            solver.retract_group(42)
+
+    def test_retract_twice_is_idempotent(self):
+        solver = Solver()
+        x = solver.new_var()
+        group = solver.new_group()
+        solver.add_clause([x], group=group)
+        solver.retract_group(group)
+        solver.retract_group(group)  # no-op, no error
+        assert solver.solve().satisfiable

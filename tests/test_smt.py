@@ -162,6 +162,76 @@ class TestSolverFacade:
             solver.declare(Var("x", int_sort(0, 5)))
 
 
+class TestScopes:
+    def test_push_pop_retracts_assertions(self):
+        solver = SmtSolver()
+        backing = solver.solver
+        solver.add(X > 5)
+        solver.push()
+        solver.add(X < 3)
+        assert not solver.check()
+        solver.pop()
+        assert solver.check()
+        assert solver.model()["x"] > 5
+        # Same persistent CDCL instance served both queries.
+        assert solver.solver is backing
+
+    def test_nested_scopes(self):
+        solver = SmtSolver()
+        solver.add(X <= 10)
+        solver.push()
+        solver.add(X > 4)
+        solver.push()
+        solver.add(X.eq(2))
+        assert not solver.check()
+        solver.pop()
+        assert solver.check()
+        assert 4 < solver.model()["x"] <= 10
+        solver.pop()
+        solver.push()
+        solver.add(X.eq(2))
+        assert solver.check()
+        assert solver.model()["x"] == 2
+
+    def test_pop_without_push_raises(self):
+        solver = SmtSolver()
+        with pytest.raises(RuntimeError):
+            solver.pop()
+
+    def test_scoped_contradiction_is_local(self):
+        solver = SmtSolver()
+        solver.add(F)
+        solver.push()
+        solver.add(lnot(F))  # conflicts with the base assertion
+        assert not solver.check()
+        solver.pop()
+        assert solver.check()
+        assert solver.model()["f"] == 1
+
+    def test_scoped_constant_false_is_local(self):
+        solver = SmtSolver()
+        solver.declare(X)
+        solver.push()
+        solver.add(land(F, lnot(F)))  # folds to constant false
+        assert not solver.check()
+        solver.pop()
+        assert solver.check()
+
+    def test_many_scoped_queries_accumulate_learning(self):
+        """Scoped queries must not degrade the solver: lemma counts are
+        monotone and verdicts stay correct."""
+        solver = SmtSolver()
+        solver.add(land(X >= 0, X <= 20))
+        for bound in range(1, 8):
+            solver.push()
+            solver.add(X > 20 - bound)
+            solver.add(X < bound)
+            expected = bound > 10  # x in (20-bound, bound) nonempty iff
+            assert solver.check() == expected
+            solver.pop()
+        assert solver.check()  # base constraints still satisfiable
+
+
 # ---------------------------------------------------------------------------
 # Differential testing against the evaluator
 # ---------------------------------------------------------------------------
