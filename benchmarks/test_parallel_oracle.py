@@ -1,0 +1,181 @@
+"""Macro-benchmark: sharded vs. serial completeness checking.
+
+Replays a launch-abort-scale condition workload (>= 60 conditions, with
+spurious-strengthening churn) through the canonical serial oracle --
+the baseline doing identical per-condition work -- and through a
+:class:`ParallelCompletenessOracle` pool at ``jobs=4``, asserting the
+reports are bit-for-bit identical and recording the wall-clock numbers
+in ``BENCH_parallel_oracle.json`` at the repository root.  The default
+(non-canonical) serial path is timed too, so the record shows both the
+sharding speedup and the price of canonicalisation itself.
+
+Both paths are warmed with one trivial condition first, so the measured
+interval covers condition checking only -- not worker start-up, BFS
+exploration or the first transition-relation encoding.
+
+The >= 2x speedup assertion only runs where the hardware can express it
+(>= 4 usable CPUs); on smaller machines the numbers are still measured
+and recorded, and the identity assertion always runs.  Run with
+``pytest benchmarks/test_parallel_oracle.py -s`` to see the figures.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.conditions import Condition, ConditionKind
+from repro.core.parallel import ParallelCompletenessOracle, make_oracle
+from repro.expr import TRUE, lnot, sort_values
+from repro.stateflow.library import get_benchmark
+
+BENCH = "ModelingALaunchAbortSystem"
+JOBS = 4
+MAX_STRENGTHENINGS = 6
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel_oracle.json"
+
+
+def _step(assumption, conclusion) -> Condition:
+    return Condition(
+        kind=ConditionKind.STEP,
+        state=0,
+        state_name="q",
+        assumption=assumption,
+        conclusion=conclusion,
+    )
+
+
+def _workload(system) -> list[Condition]:
+    """>= 60 distinct conditions mixing holding and churning checks."""
+    conditions = []
+    for var in system.state_vars:
+        for value in sort_values(var.sort):
+            # Usually violated: successors never all pin to one value...
+            conditions.append(_step(TRUE, lnot(var.eq(value))))
+            # ...a pinned state rarely self-loops under every input
+            # (churns through spurious exclusions before a verdict)...
+            conditions.append(_step(var.eq(value), var.eq(value)))
+            # ...nor does every step leave it.
+            conditions.append(_step(var.eq(value), lnot(var.eq(value))))
+    return conditions
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_speedup_on_launch_abort_workload():
+    benchmark = get_benchmark(BENCH)
+    system = benchmark.system
+    conditions = _workload(system)
+    assert len(conditions) >= 60, f"workload too small: {len(conditions)}"
+    # Warm-up batch: one violated condition per state variable, outside
+    # the measured workload.  The distinct symbol sets spread over all
+    # JOBS workers (a single condition would take the serial shortcut
+    # and leave the pool cold), and each counterexample classification
+    # forces the worker's reachability exploration up front.
+    warmup = [
+        _step(var.eq(sort_values(var.sort)[0]), lnot(TRUE))
+        for var in system.state_vars
+    ]
+    assert len(warmup) >= JOBS
+    start_method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+
+    # Reference 1: the default (non-canonical) serial path, for an
+    # honest end-to-end number -- canonicalisation itself has a cost.
+    default_serial = make_oracle(
+        system,
+        "explicit",
+        benchmark.k,
+        jobs=1,
+        max_strengthenings=MAX_STRENGTHENINGS,
+    )
+    default_serial.check_all(warmup)
+    start = time.perf_counter()
+    default_serial.check_all(conditions)
+    default_serial_seconds = time.perf_counter() - start
+
+    # Reference 2: the canonical serial oracle -- the apples-to-apples
+    # baseline for the sharding mechanism (identical per-condition work).
+    serial = make_oracle(
+        system,
+        "explicit",
+        benchmark.k,
+        jobs=1,
+        max_strengthenings=MAX_STRENGTHENINGS,
+        canonical=True,
+    )
+    serial.check_all(warmup)
+    start = time.perf_counter()
+    serial_report = serial.check_all(conditions)
+    serial_seconds = time.perf_counter() - start
+
+    with ParallelCompletenessOracle(
+        system,
+        "explicit",
+        benchmark.k,
+        jobs=JOBS,
+        max_strengthenings=MAX_STRENGTHENINGS,
+        start_method=start_method,
+    ) as parallel:
+        parallel.check_all(warmup)
+        start = time.perf_counter()
+        parallel_report = parallel.check_all(conditions)
+        parallel_seconds = time.perf_counter() - start
+        assert parallel.worker_failures == 0
+
+    assert parallel_report.outcomes == serial_report.outcomes
+    assert parallel_report.alpha == serial_report.alpha
+    assert parallel_report.truncated == serial_report.truncated
+
+    cpus = _usable_cpus()
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    record = {
+        "benchmark": BENCH,
+        "conditions": len(conditions),
+        "jobs": JOBS,
+        "usable_cpus": cpus,
+        "start_method": start_method,
+        "max_strengthenings": MAX_STRENGTHENINGS,
+        "serial_seconds": round(serial_seconds, 4),
+        "default_serial_seconds": round(default_serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 3),
+        "speedup_vs_default_serial": round(
+            default_serial_seconds / max(parallel_seconds, 1e-9), 3
+        ),
+        "reports_identical": True,
+        "alpha": serial_report.alpha,
+        "violations": len(serial_report.violations),
+        "total_spurious_excluded": serial_report.total_spurious,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\n{BENCH}: {len(conditions)} conditions | "
+        f"serial (canonical) {serial_seconds:.3f}s, "
+        f"serial (default) {default_serial_seconds:.3f}s, "
+        f"jobs={JOBS} {parallel_seconds:.3f}s, "
+        f"speedup {speedup:.2f}x on {cpus} usable CPU(s) | "
+        f"recorded in {RESULT_PATH.name}"
+    )
+    if cpus < JOBS:
+        pytest.skip(
+            f"only {cpus} usable CPU(s): a {JOBS}-way wall-clock speedup "
+            f"is not expressible here (measured {speedup:.2f}x, recorded)"
+        )
+    assert speedup >= 2.0, (
+        f"parallel oracle only {speedup:.2f}x faster at jobs={JOBS} "
+        f"({parallel_seconds:.3f}s vs {serial_seconds:.3f}s serial)"
+    )

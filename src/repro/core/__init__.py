@@ -33,6 +33,12 @@ from .metrics import (
     format_table,
 )
 from .oracle import CompletenessOracle, ConditionOutcome, OracleReport
+from .parallel import (
+    OracleSpec,
+    ParallelCompletenessOracle,
+    SystemSpec,
+    make_oracle,
+)
 from .refine import augment_traces, counterexample_traces, splice_counterexample
 
 __all__ = [
@@ -51,7 +57,11 @@ __all__ = [
     "Invariant",
     "IterationRecord",
     "OracleReport",
+    "OracleSpec",
+    "ParallelCompletenessOracle",
+    "SystemSpec",
     "TableRow",
+    "make_oracle",
     "augment_traces",
     "close_holes",
     "cross_check",

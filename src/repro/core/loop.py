@@ -24,16 +24,12 @@ from dataclasses import dataclass, field
 from ..automata.nfa import SymbolicNFA
 from ..learn.base import ModelLearner
 from ..mc.explicit import reachable_formula, shared_reachability
-from ..mc.spurious import (
-    ExplicitSpuriousness,
-    KInductionSpuriousness,
-    SpuriousnessChecker,
-)
 from ..system.transition_system import SymbolicSystem
 from ..traces.trace import TraceSet
 from .conditions import extract_conditions
 from .invariants import Invariant, extract_invariants
-from .oracle import CompletenessOracle, OracleReport
+from .oracle import OracleReport
+from .parallel import make_oracle
 from .refine import augment_traces
 
 
@@ -120,6 +116,24 @@ class ActiveLearner:
         mitigation for the spurious-counterexample churn that caused its
         timeouts (§IV-B.1); off by default for faithfulness, on in the
         benchmark harness for laptop-scale runtimes.
+    jobs:
+        Number of condition-checking worker processes.  ``1`` (default)
+        checks everything in-process, exactly as before.  With more,
+        ``check_all`` shards conditions across a persistent pool with
+        sticky condition→worker affinity and produces a bit-for-bit
+        identical report (see :mod:`repro.core.parallel`).  Call
+        :meth:`close` (or use the learner as a context manager) to shut
+        the pool down; the workers are kept alive *across* loop
+        iterations so their learned-clause databases stay hot.
+    oracle_start_method:
+        Multiprocessing start method for the worker pool (``"spawn"``
+        default; ``"fork"`` starts faster where available).
+    canonical_counterexamples:
+        Force counterexample canonicalisation on (``True``) or leave the
+        per-``jobs`` default (``None``): off for the fast serial path,
+        always on for worker pools.  ``True`` with ``jobs=1`` yields the
+        deterministic serial reference that any ``jobs>1`` run
+        reproduces bit for bit.
     """
 
     def __init__(
@@ -134,15 +148,15 @@ class ActiveLearner:
         budget_seconds: float | None = None,
         max_strengthenings: int = 100,
         guide_with_reachable: bool = False,
+        jobs: int = 1,
+        oracle_start_method: str = "spawn",
+        canonical_counterexamples: bool | None = None,
     ):
         self._system = system
         self._learner = learner
         self._k = k
         self._max_iterations = max_iterations
         self._budget_seconds = budget_seconds
-        self._spurious = self._make_spurious_checker(
-            spurious_engine, respect_k, state_only
-        )
         domain_assumption = None
         if guide_with_reachable:
             if spurious_engine != "explicit":
@@ -152,36 +166,28 @@ class ActiveLearner:
             domain_assumption = reachable_formula(
                 system, shared_reachability(system)
             )
-        self._oracle = CompletenessOracle(
+        self._oracle = make_oracle(
             system,
-            self._spurious,
+            spurious_engine,
             k,
+            jobs=jobs,
+            respect_k=respect_k,
             state_only=state_only,
             max_strengthenings=max_strengthenings,
             domain_assumption=domain_assumption,
+            start_method=oracle_start_method,
+            canonical=canonical_counterexamples,
         )
 
-    def _make_spurious_checker(
-        self, engine: str, respect_k: bool, state_only: bool
-    ) -> SpuriousnessChecker | None:
-        if engine == "explicit":
-            return ExplicitSpuriousness(
-                self._system,
-                respect_k=respect_k,
-                reach=shared_reachability(self._system),
-            )
-        if engine == "bdd":
-            from ..mc.symbolic import SymbolicSpuriousness
+    def close(self) -> None:
+        """Shut down the condition-checking worker pool (if any)."""
+        self._oracle.close()
 
-            return SymbolicSpuriousness(self._system, respect_k=respect_k)
-        if engine == "kinduction":
-            return KInductionSpuriousness(self._system, state_only=state_only)
-        if engine == "none":
-            return None
-        raise ValueError(
-            f"unknown spurious_engine {engine!r} "
-            "(expected 'explicit', 'bdd', 'kinduction' or 'none')"
-        )
+    def __enter__(self) -> "ActiveLearner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(self, initial_traces: TraceSet) -> ActiveLearningResult:
@@ -237,6 +243,10 @@ class ActiveLearner:
             if report.truncated:
                 timed_out = True
                 break
+            # Convergence is only ever declared on a fully checked
+            # condition set: truncated reports broke out above, and an
+            # empty-but-truncated report's alpha is 0.0, not a vacuous
+            # 1.0 (see OracleReport.alpha).
             if report.alpha == 1.0:
                 converged = True
                 break

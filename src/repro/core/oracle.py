@@ -47,9 +47,16 @@ class OracleReport:
 
     @property
     def alpha(self) -> float:
-        """Degree of completeness: fraction of conditions that hold."""
+        """Degree of completeness: fraction of conditions that hold.
+
+        An empty report is vacuously complete *only* if it is actually
+        finished: when the deadline expired before the first condition
+        was checked (``truncated`` with no outcomes) nothing is known,
+        and claiming ``α = 1`` would let the active loop declare
+        convergence on zero evidence -- so that case reports ``0.0``.
+        """
         if not self.outcomes:
-            return 1.0
+            return 0.0 if self.truncated else 1.0
         return sum(1 for o in self.outcomes if o.holds) / len(self.outcomes)
 
     @property
@@ -92,6 +99,18 @@ class CompletenessOracle:
         domain-knowledge strengthening that guides the checker towards
         valid counterexamples, e.g. the reachable-state formula from
         :func:`repro.mc.explicit.reachable_formula`.
+    canonical_counterexamples:
+        Return the lexicographically minimal counterexample per query
+        instead of the solver's first model.  Canonical counterexamples
+        make every outcome a pure function of the condition --
+        independent of solver history, condition order and process
+        boundaries -- which is what lets the sharded
+        :class:`~repro.core.parallel.ParallelCompletenessOracle`
+        reproduce the same report regardless of ``jobs``.  Off by
+        default: minimisation costs extra solver probes per
+        counterexample (~4x check time on churn-heavy workloads), so the
+        plain serial oracle keeps the historical fast path and the
+        parallel oracle family turns it on.
     """
 
     def __init__(
@@ -102,15 +121,30 @@ class CompletenessOracle:
         state_only: bool = True,
         max_strengthenings: int = 100,
         domain_assumption: Expr | None = None,
+        canonical_counterexamples: bool = False,
     ):
         self._system = system
         self._spurious = spurious_checker
         self._k = k
         self._state_only = state_only
         self._max_strengthenings = max_strengthenings
+        self._canonical = canonical_counterexamples
         self._checker = IncrementalConditionChecker(system)
         if domain_assumption is not None:
             self._checker.add_base_constraint(domain_assumption)
+
+    def close(self) -> None:
+        """Release resources (no-op for the in-process oracle).
+
+        Present so serial and parallel oracles share a lifecycle
+        contract; see :class:`repro.core.parallel.ParallelCompletenessOracle`.
+        """
+
+    def __enter__(self) -> "CompletenessOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def check(
@@ -135,7 +169,9 @@ class CompletenessOracle:
         spurious_excluded = 0
         solver_checks = 0
         while True:
-            result = self._checker.check(assumption, condition.conclusion)
+            result = self._checker.check(
+                assumption, condition.conclusion, canonical=self._canonical
+            )
             solver_checks += result.solver_checks
             if result.holds:
                 return ConditionOutcome(

@@ -1,0 +1,593 @@
+"""Parallel completeness oracle: sharded condition checking.
+
+The completeness conditions of one candidate model are mutually
+independent (each is its own Fig. 3a harness), which makes
+:meth:`CompletenessOracle.check_all` embarrassingly parallel -- and it is
+the dominant wall-clock cost of the active-learning loop now that each
+individual query is incremental.  This module shards ``check_all`` across
+persistent worker processes while keeping the report *bit-for-bit
+identical* to the serial one.
+
+Design
+------
+
+**Spawn-safe construction.**  A live oracle is not picklable (it owns a
+CDCL solver mid-flight), so workers are handed an :class:`OracleSpec`: a
+plain-data recipe -- system fields, spurious-engine *name*, ``k``,
+strengthening knobs, optional domain assumption -- from which each worker
+rebuilds its own :class:`~repro.core.oracle.CompletenessOracle`, with its
+own persistent :class:`~repro.mc.condition_check.IncrementalConditionChecker`.
+This works under any multiprocessing start method; the default is
+``"spawn"``.
+
+**Sticky affinity.**  Workers live for the oracle's lifetime, so their
+solvers accumulate learned clauses exactly like the serial checker does.
+To keep those clause databases hot, conditions are routed with two-level
+sticky affinity: a condition seen in an earlier ``check_all`` call goes
+back to the worker that checked it before; a *new* condition prefers the
+worker already owning conditions over the same observable symbols
+(their encodings share literals, so lemmas transfer), unless that worker
+is already at its fair share of the current batch, in which case the
+least-loaded worker takes it.
+
+**Determinism.**  The oracle uses canonical (lexicographically minimal)
+counterexamples, making every outcome a pure function of its condition:
+the CDCL model a worker would otherwise return depends on clause-database
+history and on per-process hash salting of the encoder's variable order.
+With canonical outcomes the merged report -- outcomes listed in the
+original condition order -- is identical to the serial report regardless
+of ``jobs`` or scheduling.
+
+**Deadlines.**  The ``deadline`` (``time.monotonic`` scale, which is a
+system-wide clock on the supported platforms) is forwarded to every
+worker, which honours it exactly like the serial path: between
+conditions and between spurious-strengthening rounds.  The merge keeps
+the longest prefix (in original order) of contiguously checked
+conditions, so a truncated parallel report has the same shape as a
+truncated serial one and never claims conditions it did not check.
+
+**Worker failure.**  Results are streamed per condition.  If a worker
+dies mid-batch (its pipe hits EOF or its sentinel fires before ``done``),
+the unfinished conditions are re-checked serially in the parent and a
+``RuntimeWarning`` is emitted -- a crash can slow a report down but never
+silently shorten it.  Dead workers are respawned on the next dispatch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import warnings
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait
+
+from ..expr.ast import Expr, free_vars
+from ..mc.spurious import (
+    SPURIOUS_ENGINES,
+    build_spurious_checker,
+    unknown_engine_message,
+)
+from ..system.transition_system import SymbolicSystem
+from ..system.valuation import Valuation
+from .conditions import Condition
+from .oracle import CompletenessOracle, ConditionOutcome, OracleReport
+
+
+# Sticky-affinity tables are bounded (oldest-first eviction) so a pool
+# that lives across many loop iterations cannot leak dead conditions.
+_AFFINITY_CAP = 10_000
+
+
+# ---------------------------------------------------------------------------
+# picklable specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Reconstruction recipe for a :class:`SymbolicSystem`.
+
+    The system dataclass itself would pickle, but live instances carry
+    process-local caches (notably the shared reachability engine, whose
+    table can hold hundreds of thousands of states) that must not ride
+    along.  The spec captures exactly the declared fields.
+    """
+
+    name: str
+    state_vars: tuple
+    input_vars: tuple
+    init_state: Valuation
+    next_exprs: tuple[tuple[object, Expr], ...]
+    input_samples: tuple[Valuation, ...]
+
+    @classmethod
+    def of(cls, system: SymbolicSystem) -> "SystemSpec":
+        return cls(
+            name=system.name,
+            state_vars=system.state_vars,
+            input_vars=system.input_vars,
+            init_state=system.init_state,
+            next_exprs=tuple(
+                sorted(system.next_exprs.items(), key=lambda kv: kv[0].name)
+            ),
+            input_samples=tuple(system.input_samples),
+        )
+
+    def build(self) -> SymbolicSystem:
+        return SymbolicSystem(
+            name=self.name,
+            state_vars=self.state_vars,
+            input_vars=self.input_vars,
+            init_state=self.init_state,
+            next_exprs=dict(self.next_exprs),
+            input_samples=list(self.input_samples),
+        )
+
+
+@dataclass(frozen=True)
+class OracleSpec:
+    """Everything a worker needs to rebuild a serial oracle."""
+
+    system: SystemSpec
+    spurious_engine: str
+    k: int
+    respect_k: bool = True
+    state_only: bool = True
+    max_strengthenings: int = 100
+    domain_assumption: Expr | None = None
+    # Test-only crash injection: (worker_index, outcomes_before_exit).
+    fault: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.spurious_engine not in SPURIOUS_ENGINES:
+            raise ValueError(unknown_engine_message(self.spurious_engine))
+
+    def build_oracle(self, system: SymbolicSystem | None = None) -> CompletenessOracle:
+        if system is None:
+            system = self.system.build()
+        return CompletenessOracle(
+            system,
+            build_spurious_checker(
+                system,
+                self.spurious_engine,
+                respect_k=self.respect_k,
+                state_only=self.state_only,
+            ),
+            self.k,
+            state_only=self.state_only,
+            max_strengthenings=self.max_strengthenings,
+            domain_assumption=self.domain_assumption,
+            canonical_counterexamples=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(spec: OracleSpec, worker_index: int, conn: Connection) -> None:
+    """Worker loop: rebuild an oracle from the spec, then serve batches.
+
+    Protocol (parent -> worker): ``("check", generation, [(index,
+    condition), ...], deadline | None)`` or ``("stop",)``.  Worker ->
+    parent: one ``("one", generation, index, outcome)`` per checked
+    condition, then ``("done", generation)`` per batch.  Streaming
+    results per condition is what lets the parent recover precisely when
+    a worker dies mid-batch; the echoed generation lets it discard stale
+    results if an earlier ``check_all`` was abandoned mid-collection
+    (e.g. by KeyboardInterrupt) with replies still in flight.
+    """
+    oracle = spec.build_oracle()
+    sent = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if message[0] == "stop":
+            break
+        _tag, generation, batch, deadline = message
+        for index, condition in batch:
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            outcome = oracle.check(condition, deadline=deadline)
+            if spec.fault is not None and spec.fault[0] == worker_index:
+                if sent >= spec.fault[1]:
+                    os._exit(1)
+            conn.send(("one", generation, index, outcome))
+            sent += 1
+            if outcome.truncated:
+                break
+        conn.send(("done", generation))
+    conn.close()
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.Process
+    conn: Connection
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+# ---------------------------------------------------------------------------
+# the parallel oracle
+# ---------------------------------------------------------------------------
+
+
+class ParallelCompletenessOracle:
+    """Drop-in ``check_all`` that shards conditions across processes.
+
+    Construction mirrors :class:`CompletenessOracle` except that the
+    spuriousness strategy is named (``spurious_engine``) rather than
+    passed as a live object, so it can travel to workers as part of the
+    picklable :class:`OracleSpec`.  With ``jobs=1`` no processes are
+    created and every call runs on an in-process serial oracle.
+
+    The oracle is a context manager; :meth:`close` shuts the workers
+    down.  Workers are daemonic, so a forgotten ``close`` can never hang
+    interpreter exit.
+    """
+
+    def __init__(
+        self,
+        system: SymbolicSystem,
+        spurious_engine: str,
+        k: int,
+        *,
+        jobs: int = 2,
+        respect_k: bool = True,
+        state_only: bool = True,
+        max_strengthenings: int = 100,
+        domain_assumption: Expr | None = None,
+        start_method: str = "spawn",
+        _fault: tuple[int, int] | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._system = system
+        self._jobs = jobs
+        self._spec = OracleSpec(
+            system=SystemSpec.of(system),
+            spurious_engine=spurious_engine,
+            k=k,
+            respect_k=respect_k,
+            state_only=state_only,
+            max_strengthenings=max_strengthenings,
+            domain_assumption=domain_assumption,
+            fault=_fault,
+        )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: list[_Worker | None] = [None] * jobs
+        # Two-level sticky affinity (see module docstring).
+        self._condition_affinity: dict[Condition, int] = {}
+        self._symbol_affinity: dict[tuple[str, ...], int] = {}
+        self._serial: CompletenessOracle | None = None
+        self.worker_failures = 0
+        self._closed = False
+        self._generation = 0  # batch tag; see _worker_main protocol
+        self._abandoned = False  # a check_all exited abnormally
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Shut down all worker processes."""
+        self._closed = True
+        for slot, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            worker.conn.close()
+            self._workers[slot] = None
+
+    def _reset_pool(self) -> None:
+        """Kill every worker; the next dispatch spawns a fresh pool.
+
+        Used after a ``check_all`` exits abnormally: an abandoned batch
+        can leave a worker blocked mid-``send`` on a full result pipe,
+        and dispatching to it again could deadlock.  Workers hold no
+        state that cannot be rebuilt from the spec.
+        """
+        for slot, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+            worker.conn.close()
+            self._workers[slot] = None
+        self._abandoned = False
+
+    def __enter__(self) -> "ParallelCompletenessOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; daemon workers die anyway
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- serial pieces -------------------------------------------------
+    def _serial_oracle(self) -> CompletenessOracle:
+        """In-process oracle used for ``jobs=1``, tiny batches, single
+        checks and worker-failure fallback.
+
+        Canonical counterexamples make its outcomes identical to any
+        worker's, so mixing the two paths cannot perturb a report.
+        """
+        if self._serial is None:
+            self._serial = self._spec.build_oracle(system=self._system)
+        return self._serial
+
+    def check(
+        self, condition: Condition, deadline: float | None = None
+    ) -> ConditionOutcome:
+        if self._closed:
+            raise RuntimeError("oracle is closed")
+        return self._serial_oracle().check(condition, deadline=deadline)
+
+    # -- sharding ------------------------------------------------------
+    @staticmethod
+    def _symbols(condition: Condition) -> tuple[str, ...]:
+        names = {v.name for v in free_vars(condition.conclusion)}
+        if condition.assumption is not None:
+            names |= {v.name for v in free_vars(condition.assumption)}
+        return tuple(sorted(names))
+
+    def _assign(
+        self, conditions: list[Condition]
+    ) -> list[list[tuple[int, Condition]]]:
+        """Shard with sticky affinity, capped for balance.
+
+        Repeat conditions always return to their previous worker (their
+        exact encodings, and any lemmas over them, live there).  New
+        conditions prefer the worker owning their symbol group but fall
+        back to the least-loaded worker once that one reached its fair
+        share of this batch, so a single hot symbol group cannot
+        serialise the whole check.
+        """
+        jobs = self._jobs
+        fair_share = -(-len(conditions) // jobs)  # ceil
+        loads = [0] * jobs
+        batches: list[list[tuple[int, Condition]]] = [[] for _ in range(jobs)]
+        for index, condition in enumerate(conditions):
+            worker = self._condition_affinity.get(condition)
+            if worker is None:
+                symbols = self._symbols(condition)
+                preferred = self._symbol_affinity.get(symbols)
+                if preferred is not None and loads[preferred] < fair_share:
+                    worker = preferred
+                else:
+                    worker = min(range(jobs), key=lambda j: (loads[j], j))
+                self._condition_affinity[condition] = worker
+                self._symbol_affinity.setdefault(symbols, worker)
+            loads[worker] += 1
+            batches[worker].append((index, condition))
+        # Affinity is an optimisation, not a correctness requirement:
+        # candidate models change every iteration and their dead
+        # conditions would otherwise accumulate forever.  Evict oldest
+        # entries (insertion order) once well past any live working set.
+        while len(self._condition_affinity) > _AFFINITY_CAP:
+            self._condition_affinity.pop(
+                next(iter(self._condition_affinity))
+            )
+        while len(self._symbol_affinity) > _AFFINITY_CAP:
+            self._symbol_affinity.pop(next(iter(self._symbol_affinity)))
+        return batches
+
+    def _ensure_worker(self, slot: int) -> _Worker:
+        worker = self._workers[slot]
+        if worker is not None and worker.alive():
+            return worker
+        if worker is not None:
+            worker.conn.close()
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._spec, slot, child_conn),
+            daemon=True,
+            name=f"oracle-worker-{self._system.name}-{slot}",
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process=process, conn=parent_conn)
+        self._workers[slot] = worker
+        return worker
+
+    # -- the sharded check_all -----------------------------------------
+    def check_all(
+        self, conditions: list[Condition], deadline: float | None = None
+    ) -> OracleReport:
+        """Serial-identical report, computed on the worker pool.
+
+        See :meth:`CompletenessOracle.check_all` for the report
+        semantics; this method only changes *where* conditions run.
+        """
+        if self._closed:
+            raise RuntimeError("oracle is closed")
+        if self._jobs == 1 or len(conditions) < 2:
+            return self._serial_oracle().check_all(conditions, deadline=deadline)
+        if self._abandoned:
+            # The previous call exited abnormally (e.g. KeyboardInterrupt)
+            # with batches possibly still in flight; a worker blocked on
+            # a full result pipe would deadlock a fresh dispatch, so
+            # start from a clean pool.  (Generation tags already guard
+            # against the plain stale-message case.)
+            self._reset_pool()
+        try:
+            return self._check_all_sharded(conditions, deadline)
+        except BaseException:
+            self._abandoned = True
+            raise
+
+    def _check_all_sharded(
+        self, conditions: list[Condition], deadline: float | None
+    ) -> OracleReport:
+        outcomes: dict[int, ConditionOutcome] = {}
+        retry: dict[int, Condition] = {}
+        pending: dict[int, dict[int, Condition]] = {}
+        active: dict[int, _Worker] = {}
+        failures = 0
+        self._generation += 1
+        generation = self._generation
+
+        for slot, batch in enumerate(self._assign(conditions)):
+            if not batch:
+                continue
+            worker = self._ensure_worker(slot)
+            try:
+                worker.conn.send(("check", generation, batch, deadline))
+            except (BrokenPipeError, OSError):
+                failures += 1
+                retry.update(dict(batch))
+                continue
+            pending[slot] = dict(batch)
+            active[slot] = worker
+
+        def drain(worker: _Worker, slot: int) -> str:
+            """Consume buffered replies; 'done', 'dead' or 'idle'.
+
+            Replies from an earlier generation (a check_all abandoned
+            mid-collection) are discarded rather than misattributed to
+            this batch's indices.
+            """
+            while worker.conn.poll(0):
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    return "dead"
+                if message[1] != generation:
+                    continue
+                if message[0] == "one":
+                    _tag, _gen, index, outcome = message
+                    outcomes[index] = outcome
+                    pending[slot].pop(index, None)
+                elif message[0] == "done":
+                    return "done"
+            return "idle"
+
+        while pending:
+            by_conn = {active[s].conn: s for s in pending}
+            by_sentinel = {active[s].process.sentinel: s for s in pending}
+            ready = wait(list(by_conn) + list(by_sentinel))
+            touched = {by_conn.get(obj, by_sentinel.get(obj)) for obj in ready}
+            for slot in touched:
+                if slot not in pending:
+                    continue
+                worker = active[slot]
+                state = drain(worker, slot)
+                if state == "idle" and not worker.process.is_alive():
+                    # The drain may have raced the exit; anything still
+                    # buffered in the pipe is readable after death.
+                    state = drain(worker, slot)
+                    if state == "idle":
+                        state = "dead"
+                if state == "done":
+                    pending.pop(slot)
+                elif state == "dead":
+                    failures += 1
+                    retry.update(pending.pop(slot))
+
+        if failures:
+            self.worker_failures += failures
+            warnings.warn(
+                f"{failures} completeness-oracle worker(s) died; "
+                f"re-checking {len(retry)} condition(s) serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if retry:
+            serial = self._serial_oracle()
+            for index in sorted(retry):
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                outcome = serial.check(retry[index], deadline=deadline)
+                outcomes[index] = outcome
+                if outcome.truncated:
+                    break
+
+        # Deterministic merge: original order, longest contiguous prefix.
+        # A gap means some worker's deadline expired before reaching that
+        # condition, so -- like the serial path -- the report ends there
+        # and is marked truncated rather than skipping ahead.
+        report = OracleReport()
+        for index in range(len(conditions)):
+            outcome = outcomes.get(index)
+            if outcome is None:
+                report.truncated = True
+                break
+            report.outcomes.append(outcome)
+            if outcome.truncated:
+                report.truncated = True
+                break
+        return report
+
+
+def make_oracle(
+    system: SymbolicSystem,
+    spurious_engine: str,
+    k: int,
+    *,
+    jobs: int = 1,
+    respect_k: bool = True,
+    state_only: bool = True,
+    max_strengthenings: int = 100,
+    domain_assumption: Expr | None = None,
+    start_method: str = "spawn",
+    canonical: bool | None = None,
+) -> CompletenessOracle | ParallelCompletenessOracle:
+    """Build a serial (``jobs=1``) or sharded (``jobs>1``) oracle.
+
+    Both variants expose ``check``/``check_all``/``close``, so callers
+    can treat the result uniformly and ``close()`` it when done.
+
+    ``canonical`` controls counterexample canonicalisation.  Its default
+    follows ``jobs``: the sharded oracle *requires* it (the merge is
+    only serial-identical with history-independent outcomes), while the
+    ``jobs=1`` default keeps the historical fast serial path.  Pass
+    ``canonical=True`` with ``jobs=1`` to get the deterministic serial
+    reference that any ``jobs>1`` report reproduces bit for bit.
+    """
+    if jobs == 1:
+        return CompletenessOracle(
+            system,
+            build_spurious_checker(
+                system, spurious_engine, respect_k=respect_k, state_only=state_only
+            ),
+            k,
+            state_only=state_only,
+            max_strengthenings=max_strengthenings,
+            domain_assumption=domain_assumption,
+            canonical_counterexamples=bool(canonical),
+        )
+    if canonical is False:
+        raise ValueError(
+            "jobs > 1 requires canonical counterexamples: without them "
+            "worker outcomes depend on per-process solver state and the "
+            "merged report would not be deterministic"
+        )
+    return ParallelCompletenessOracle(
+        system,
+        spurious_engine,
+        k,
+        jobs=jobs,
+        respect_k=respect_k,
+        state_only=state_only,
+        max_strengthenings=max_strengthenings,
+        domain_assumption=domain_assumption,
+        start_method=start_method,
+    )

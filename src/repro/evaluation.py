@@ -25,11 +25,10 @@ from .automata.compare import TransitionWitness, transition_match_score
 from .core.loop import ActiveLearner, ActiveLearningResult
 from .core.metrics import BaselineRow, TableRow
 from .core.conditions import extract_conditions
-from .core.oracle import CompletenessOracle
+from .core.parallel import make_oracle
 from .learn.base import ModelLearner
 from .learn.t2m import T2MLearner
-from .mc.explicit import reachable_formula, shared_reachability
-from .mc.spurious import ExplicitSpuriousness
+from .mc.explicit import reachable_formula
 from .stateflow.benchmark import Benchmark, FsaSpec
 from .traces.generate import random_traces
 from .traces.trace import TraceSet
@@ -71,6 +70,7 @@ def run_active(
     spurious_engine: str = "explicit",
     max_iterations: int = 50,
     guide_with_reachable: bool = True,
+    jobs: int = 1,
 ) -> ActiveRunOutput:
     """Run the active algorithm on one FSA; returns its Table I row.
 
@@ -78,10 +78,15 @@ def run_active(
     strengthening by default: without it, the larger benchmarks spend
     their budget excluding unreachable counterexample states one by one
     (the paper's own timeout mode, reproduced by the guidance ablation
-    benchmark).
+    benchmark).  ``jobs > 1`` shards every iteration's condition checks
+    across a persistent worker pool (identical results, lower
+    wall-clock; see :mod:`repro.core.parallel`).
     """
     model_learner = learner or default_learner(benchmark, spec)
-    active = ActiveLearner(
+    traces = random_traces(
+        benchmark.system, count=initial_traces, length=trace_length, seed=seed
+    )
+    with ActiveLearner(
         benchmark.system,
         model_learner,
         k=benchmark.k,
@@ -89,11 +94,9 @@ def run_active(
         budget_seconds=budget_seconds,
         max_iterations=max_iterations,
         guide_with_reachable=guide_with_reachable and spurious_engine == "explicit",
-    )
-    traces = random_traces(
-        benchmark.system, count=initial_traces, length=trace_length, seed=seed
-    )
-    result = active.run(traces)
+        jobs=jobs,
+    ) as active:
+        result = active.run(traces)
     d = transition_match_score(result.model, fsa_witnesses(benchmark, spec))
     row = TableRow(
         benchmark=benchmark.name,
@@ -126,6 +129,7 @@ def run_random_baseline(
     seed: int = 0,
     learner: ModelLearner | None = None,
     guide_with_reachable: bool = True,
+    jobs: int = 1,
 ) -> BaselineRunOutput:
     """The §IV-C random-sampling baseline for one FSA.
 
@@ -142,21 +146,19 @@ def run_random_baseline(
     )
     model_learner = learner or default_learner(benchmark, spec)
     model = model_learner.learn(traces)
-    oracle = CompletenessOracle(
+    with make_oracle(
         benchmark.system,
-        ExplicitSpuriousness(
-            benchmark.system,
-            respect_k=False,
-            reach=shared_reachability(benchmark.system),
-        ),
-        k=benchmark.k,
+        "explicit",
+        benchmark.k,
+        jobs=jobs,
+        respect_k=False,
         domain_assumption=(
             reachable_formula(benchmark.system)
             if guide_with_reachable
             else None
         ),
-    )
-    report = oracle.check_all(extract_conditions(model))
+    ) as oracle:
+        report = oracle.check_all(extract_conditions(model))
     elapsed = time.monotonic() - start
     row = BaselineRow(
         benchmark=benchmark.name,

@@ -16,8 +16,9 @@ the condition is an invariant of the implementation.
 
 from __future__ import annotations
 
-from ..expr.ast import Expr, lnot
+from ..expr.ast import Const, Expr, eq, lnot
 from ..expr.subst import to_primed
+from ..expr.types import sort_values
 from ..smt.solver import SmtSolver
 from ..system.transition_system import SymbolicSystem
 from ..system.valuation import Valuation
@@ -67,8 +68,16 @@ class IncrementalConditionChecker:
             raise RuntimeError("base constraints must precede queries")
         self._solver.add(expr)
 
-    def check(self, assume: Expr, conclusion: Expr) -> ConditionCheckResult:
-        """Same query as :func:`check_condition`, on the shared solver."""
+    def check(
+        self, assume: Expr, conclusion: Expr, canonical: bool = False
+    ) -> ConditionCheckResult:
+        """Same query as :func:`check_condition`, on the shared solver.
+
+        With ``canonical=True`` a satisfiable query returns the
+        *lexicographically minimal* counterexample (see
+        :meth:`_minimise_model`) instead of whichever model the CDCL
+        search happened to land on.  The verdict is unaffected.
+        """
         self._sealed = True
         solver = self._solver
         solver.push()
@@ -78,6 +87,13 @@ class IncrementalConditionChecker:
             if not solver.check():
                 return ConditionCheckResult(holds=True, solver_checks=1)
             model = solver.model()
+            if canonical:
+                # Deliberately NOT added to solver_checks: the probe
+                # count depends on the arbitrary model the CDCL search
+                # started from, so including it would make outcomes
+                # history-dependent again.  solver_checks counts logical
+                # queries; raw solve effort is in SmtSolver.stats.
+                model, _probes = self._minimise_model(model)
             v_t = Valuation(
                 {var.name: model[var.name] for var in self._system.variables}
             )
@@ -92,6 +108,62 @@ class IncrementalConditionChecker:
             )
         finally:
             solver.pop()
+
+    def _minimise_model(
+        self, model: dict[str, int]
+    ) -> tuple[dict[str, int], int]:
+        """Lexicographically minimal model of the current query scope.
+
+        The counterexample a CDCL search returns depends on its clause
+        database, saved phases and even the (hash-salted) order in which
+        the encoder first met the variables -- so it differs between
+        solver histories and between worker processes.  The *minimal*
+        model under a fixed variable order is a pure function of the
+        query, which is what lets a sharded oracle reproduce the serial
+        report bit for bit (see :mod:`repro.core.parallel`).
+
+        Order: the system's observables as declared (inputs, then state),
+        current frame before primed frame; values ascending.  Each
+        variable is driven to its smallest satisfiable value by binary
+        search over its (contiguous) sort range -- O(log |domain|) solver
+        probes instead of one per rejected value -- then pinned in a
+        retractable scope before the next variable is minimised.
+
+        Returns the minimal model and the number of solver probes spent.
+        """
+        solver = self._solver
+        pinned = 0
+        probes = 0
+        try:
+            variables = list(self._system.variables)
+            for var in variables + [v.prime() for v in variables]:
+                name = var.qualified_name
+                floor = sort_values(var.sort)[0]
+                while model[name] > floor:
+                    if var.sort.is_bool():
+                        probe: Expr = eq(var, Const(0, var.sort))
+                        midpoint = 0
+                    else:
+                        midpoint = (floor + model[name] - 1) // 2
+                        probe = var <= midpoint
+                    solver.push()
+                    pinned += 1
+                    solver.add(probe)
+                    probes += 1
+                    if solver.check():
+                        model = solver.model()
+                    else:
+                        solver.pop()
+                        pinned -= 1
+                        floor = midpoint + 1
+                # Fix the chosen value before minimising later variables.
+                solver.push()
+                pinned += 1
+                solver.add(eq(var, Const(model[name], var.sort)))
+            return model, probes
+        finally:
+            for _ in range(pinned):
+                solver.pop()
 
 
 def check_condition(

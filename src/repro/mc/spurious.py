@@ -83,6 +83,51 @@ class KInductionSpuriousness:
         return SpuriousVerdict.INCONCLUSIVE
 
 
+#: Engine names accepted by :func:`build_spurious_checker` (and therefore
+#: by every oracle/learner constructor that takes a ``spurious_engine``).
+SPURIOUS_ENGINES = ("explicit", "bdd", "kinduction", "none")
+
+
+def build_spurious_checker(
+    system: SymbolicSystem,
+    engine: str,
+    respect_k: bool = True,
+    state_only: bool = True,
+) -> "SpuriousnessChecker | None":
+    """Construct a spuriousness checker from an engine *name*.
+
+    The name-based factory is what lets oracle configurations travel as
+    picklable specs (worker processes rebuild their own checker from the
+    name rather than receiving a live object; see
+    :mod:`repro.core.parallel`).  ``"explicit"`` reuses the per-system
+    shared reachability table, so repeated construction over one system
+    instance stays cheap.
+    """
+    if engine == "explicit":
+        from .explicit import shared_reachability
+
+        return ExplicitSpuriousness(
+            system, respect_k=respect_k, reach=shared_reachability(system)
+        )
+    if engine == "bdd":
+        from .symbolic import SymbolicSpuriousness
+
+        return SymbolicSpuriousness(system, respect_k=respect_k)
+    if engine == "kinduction":
+        return KInductionSpuriousness(system, state_only=state_only)
+    if engine == "none":
+        return None
+    raise ValueError(unknown_engine_message(engine))
+
+
+def unknown_engine_message(engine: str) -> str:
+    expected = ", ".join(repr(name) for name in SPURIOUS_ENGINES[:-1])
+    return (
+        f"unknown spurious_engine {engine!r} "
+        f"(expected {expected} or {SPURIOUS_ENGINES[-1]!r})"
+    )
+
+
 class ExplicitSpuriousness:
     """Exact reachability oracle (see module docstring)."""
 

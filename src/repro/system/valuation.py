@@ -47,6 +47,13 @@ class Valuation(Mapping[str, int]):
         inner = ", ".join(f"{name}={value}" for name, value in self._items)
         return f"Valuation({inner})"
 
+    def __reduce__(self):
+        # Rebuild through __init__ so _hash is recomputed under the
+        # *receiving* interpreter's string-hash seed: a hash cached by the
+        # sending process (e.g. an oracle worker under spawn) is wrong
+        # here, and a stale one silently breaks set/dict deduplication.
+        return (Valuation, (dict(self._items),))
+
     # ------------------------------------------------------------------
     def as_dict(self) -> dict[str, int]:
         return dict(self._items)

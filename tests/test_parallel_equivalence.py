@@ -1,0 +1,129 @@
+"""Differential suite: parallel oracle vs. serial oracle.
+
+For every stateflow library system, the sharded
+:class:`ParallelCompletenessOracle` must return a report that is
+*bit-for-bit identical* to the canonical serial reference
+(``make_oracle(..., jobs=1, canonical=True)``) on the same condition
+list -- every outcome field (verdict, counterexample pair, final
+strengthened assumption, spurious-exclusion count, inconclusive flag)
+in the original condition order, for ``jobs`` in {2, 4}.
+
+This is the parallel analogue of ``test_condition_equivalence.py``: where
+that suite compares counterexamples *semantically* (two correct solvers
+may pick different models), this one can demand equality outright because
+the oracle canonicalises counterexamples -- each outcome is a pure
+function of its condition, independent of solver history, hash seed and
+process boundary.
+
+The pool uses the ``fork`` start method here purely for start-up speed on
+the 28-system sweep; spawn-safety (workers rebuilding from the picklable
+spec) is covered by ``test_parallel_stress.py``, and the rebuild path is
+identical under both methods.
+"""
+
+import pytest
+
+from repro.core.conditions import Condition, ConditionKind
+from repro.core.oracle import OracleReport
+from repro.core.parallel import ParallelCompletenessOracle, make_oracle
+from repro.expr import FALSE, TRUE, land, lnot, lor, sort_values
+from repro.stateflow.library import benchmark_names, get_benchmark
+
+MAX_STRENGTHENINGS = 3  # bound churn so the 28-system sweep stays quick
+
+
+def _step(assumption, conclusion, state=0, name="q") -> Condition:
+    return Condition(
+        kind=ConditionKind.STEP,
+        state=state,
+        state_name=name,
+        assumption=assumption,
+        conclusion=conclusion,
+    )
+
+
+def library_conditions(system) -> list[Condition]:
+    """A discriminating condition list over a system's observables.
+
+    Mixes conditions that hold (sort-range conclusions), ones violated
+    with genuine counterexamples, ones that churn through spurious
+    strengthenings, and an initial-state condition (1).
+    """
+    conditions = [
+        Condition(
+            kind=ConditionKind.INIT,
+            state=0,
+            state_name="q0",
+            assumption=None,
+            conclusion=FALSE,
+        ),
+        _step(TRUE, TRUE),
+        _step(TRUE, FALSE),
+    ]
+    for var in system.state_vars:
+        init_value = system.init_state[var.name]
+        values = sort_values(var.sort)
+        if var.sort.is_bool():
+            in_range = lor(var, lnot(var))
+        else:
+            in_range = land(var >= values[0], var <= values[-1])
+        conditions.append(_step(TRUE, in_range))
+        conditions.append(_step(var.eq(init_value), var.eq(init_value)))
+        conditions.append(_step(TRUE, lnot(var.eq(init_value))))
+    return conditions
+
+
+def assert_reports_identical(parallel: OracleReport, serial: OracleReport):
+    """Field-for-field equality, with targeted asserts for diagnosis."""
+    assert len(parallel.outcomes) == len(serial.outcomes), "report length"
+    for i, (par, ser) in enumerate(zip(parallel.outcomes, serial.outcomes)):
+        assert par.condition == ser.condition, f"[{i}] ordering"
+        assert par.holds == ser.holds, f"[{i}] verdict"
+        assert par.counterexample == ser.counterexample, f"[{i}] counterexample"
+        assert par.final_assumption == ser.final_assumption, f"[{i}] assumption"
+        assert par.spurious_excluded == ser.spurious_excluded, f"[{i}] spurious"
+        assert par.inconclusive == ser.inconclusive, f"[{i}] inconclusive"
+        assert par.truncated == ser.truncated, f"[{i}] truncated"
+        assert par == ser, f"[{i}] outcome dataclass equality"
+    assert parallel.outcomes == serial.outcomes
+    assert parallel.truncated == serial.truncated
+    assert parallel.alpha == serial.alpha
+    assert [o.condition for o in parallel.violations] == [
+        o.condition for o in serial.violations
+    ]
+    assert [o.condition for o in parallel.recorded_inconclusive] == [
+        o.condition for o in serial.recorded_inconclusive
+    ]
+    assert parallel.total_spurious == serial.total_spurious
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_parallel_matches_serial(name):
+    benchmark = get_benchmark(name)
+    system = benchmark.system
+    conditions = library_conditions(system)
+    serial = make_oracle(
+        system,
+        "explicit",
+        benchmark.k,
+        jobs=1,
+        max_strengthenings=MAX_STRENGTHENINGS,
+        canonical=True,
+    )
+    serial_report = serial.check_all(conditions)
+    # The suite must exercise both verdicts to be discriminating.
+    assert serial_report.violations
+    assert any(o.holds for o in serial_report.outcomes)
+
+    for jobs in (2, 4):
+        with ParallelCompletenessOracle(
+            system,
+            "explicit",
+            benchmark.k,
+            jobs=jobs,
+            max_strengthenings=MAX_STRENGTHENINGS,
+            start_method="fork",
+        ) as parallel:
+            report = parallel.check_all(conditions)
+            assert_reports_identical(report, serial_report)
+            assert parallel.worker_failures == 0

@@ -1,0 +1,380 @@
+"""Determinism, deadline, and failure-mode tests for the parallel oracle.
+
+Complements ``test_parallel_equivalence.py`` (the 28-system differential
+sweep) with the stress corners:
+
+* the ``α`` of an empty-but-truncated report (deadline expired before the
+  first condition) must not claim completeness;
+* one seeded system checked with ``jobs`` in {1, 2, 8} and shuffled
+  condition order yields identical per-condition outcomes, violations and
+  recorded-inconclusive sets;
+* a deadline that has already expired checks *nothing* on every path;
+* a worker that dies mid-batch surfaces as a warning plus a serial
+  retry -- never a silently shorter report;
+* spawn-safe construction: the pool works under the ``spawn`` start
+  method, where workers rebuild everything from the picklable spec;
+* pickled valuations recompute their cached hash under the receiving
+  interpreter's hash seed.
+"""
+
+import pickle
+import random
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import ActiveLearner
+from repro.core.oracle import OracleReport
+from repro.core.parallel import (
+    OracleSpec,
+    ParallelCompletenessOracle,
+    SystemSpec,
+    make_oracle,
+)
+from repro.stateflow.library import get_benchmark
+from repro.system import Valuation
+
+from test_parallel_equivalence import assert_reports_identical, library_conditions
+
+
+# ---------------------------------------------------------------------------
+# OracleReport.alpha on truncated reports
+# ---------------------------------------------------------------------------
+
+
+class TestTruncatedAlpha:
+    def test_empty_untruncated_report_is_vacuously_complete(self):
+        assert OracleReport().alpha == 1.0
+
+    def test_empty_truncated_report_claims_nothing(self):
+        report = OracleReport(truncated=True)
+        assert report.alpha == 0.0
+
+    def test_partial_truncated_report_keeps_measured_fraction(self, cooler):
+        benchmark_conditions = library_conditions(cooler)
+        oracle = make_oracle(cooler, "explicit", 4, jobs=1)
+        full = oracle.check_all(benchmark_conditions)
+        partial = OracleReport(outcomes=full.outcomes[:3], truncated=True)
+        expected = sum(1 for o in partial.outcomes if o.holds) / 3
+        assert partial.alpha == expected
+
+
+# ---------------------------------------------------------------------------
+# determinism under jobs and input order
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_jobs_and_shuffling_do_not_change_outcomes(self):
+        benchmark = get_benchmark("MealyVendingMachine")
+        system = benchmark.system
+        conditions = library_conditions(system)
+
+        def outcome_map(report):
+            return {o.condition: o for o in report.outcomes}
+
+        def summary(report):
+            return (
+                report.alpha,
+                {o.condition for o in report.violations},
+                {o.condition for o in report.recorded_inconclusive},
+            )
+
+        baseline = make_oracle(
+            system, "explicit", benchmark.k, jobs=1, max_strengthenings=3,
+            canonical=True,
+        ).check_all(conditions)
+        for jobs in (1, 2, 8):
+            for seed in (0, 1):
+                shuffled = list(conditions)
+                random.Random(seed).shuffle(shuffled)
+                oracle = make_oracle(
+                    system,
+                    "explicit",
+                    benchmark.k,
+                    jobs=jobs,
+                    max_strengthenings=3,
+                    start_method="fork",
+                    canonical=True,
+                )
+                try:
+                    report = oracle.check_all(shuffled)
+                finally:
+                    oracle.close()
+                # Same conditions, same per-condition outcomes and the
+                # same aggregate verdict sets -- in the shuffled order.
+                assert [o.condition for o in report.outcomes] == shuffled
+                assert outcome_map(report) == outcome_map(baseline)
+                assert summary(report) == summary(baseline)
+
+    def test_sticky_affinity_across_calls(self):
+        benchmark = get_benchmark("MealyVendingMachine")
+        conditions = library_conditions(benchmark.system)
+        with ParallelCompletenessOracle(
+            benchmark.system,
+            "explicit",
+            benchmark.k,
+            jobs=2,
+            max_strengthenings=3,
+            start_method="fork",
+        ) as oracle:
+            first = oracle.check_all(conditions)
+            routing = dict(oracle._condition_affinity)
+            pids = [w.process.pid for w in oracle._workers if w is not None]
+            second = oracle.check_all(conditions)
+            # Same workers (no respawn) and same condition->worker map.
+            assert [
+                w.process.pid for w in oracle._workers if w is not None
+            ] == pids
+            assert dict(oracle._condition_affinity) == routing
+            assert second.outcomes == first.outcomes
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_expired_deadline_checks_nothing_on_every_path(self):
+        benchmark = get_benchmark("MealyVendingMachine")
+        conditions = library_conditions(benchmark.system)
+        expired = time.monotonic() - 1.0
+        serial = make_oracle(benchmark.system, "explicit", benchmark.k, jobs=1)
+        serial_report = serial.check_all(conditions, deadline=expired)
+        assert serial_report.outcomes == []
+        assert serial_report.truncated
+        assert serial_report.alpha == 0.0
+        with ParallelCompletenessOracle(
+            benchmark.system,
+            "explicit",
+            benchmark.k,
+            jobs=2,
+            start_method="fork",
+        ) as oracle:
+            report = oracle.check_all(conditions, deadline=expired)
+        # The budget allowed zero condition checks, so the parallel path
+        # must not report any -- workers cannot "overshoot" the deadline.
+        assert report.outcomes == []
+        assert report.truncated
+        assert report.alpha == 0.0
+
+    def test_midway_deadline_yields_truncated_prefix(self):
+        benchmark = get_benchmark("ModelingALaunchAbortSystem")
+        system = benchmark.system
+        # Heavy churn (no guidance, high strengthening cap) so the tiny
+        # budget cannot possibly cover the whole list.
+        conditions = library_conditions(system) * 4
+        with ParallelCompletenessOracle(
+            system,
+            "explicit",
+            benchmark.k,
+            jobs=2,
+            max_strengthenings=100,
+            start_method="fork",
+        ) as oracle:
+            # Warm the pool so the deadline measures checking, not forking.
+            oracle.check_all(conditions[:2])
+            report = oracle.check_all(
+                conditions, deadline=time.monotonic() + 0.05
+            )
+        assert len(report.outcomes) <= len(conditions)
+        if len(report.outcomes) < len(conditions):
+            assert report.truncated
+        # The report is a prefix in the original order, never a sample.
+        assert [o.condition for o in report.outcomes] == conditions[
+            : len(report.outcomes)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# worker failure
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerFailure:
+    def test_dead_worker_triggers_warned_serial_retry(self):
+        benchmark = get_benchmark("MealyVendingMachine")
+        system = benchmark.system
+        conditions = library_conditions(system)
+        serial_report = make_oracle(
+            system, "explicit", benchmark.k, jobs=1, max_strengthenings=3,
+            canonical=True,
+        ).check_all(conditions)
+        with ParallelCompletenessOracle(
+            system,
+            "explicit",
+            benchmark.k,
+            jobs=2,
+            max_strengthenings=3,
+            start_method="fork",
+            _fault=(0, 1),  # worker 0 exits after its first result
+        ) as oracle:
+            with pytest.warns(RuntimeWarning, match="worker"):
+                report = oracle.check_all(conditions)
+            assert oracle.worker_failures == 1
+            # The report is complete and identical despite the crash.
+            assert_reports_identical(report, serial_report)
+            # The dead worker is respawned for the next call.
+            with pytest.warns(RuntimeWarning, match="worker"):
+                again = oracle.check_all(conditions)
+            assert_reports_identical(again, serial_report)
+            assert oracle.worker_failures == 2
+
+    def test_stale_replies_from_abandoned_batch_are_discarded(self):
+        """A check_all abandoned mid-collection (e.g. KeyboardInterrupt)
+        leaves worker replies in flight; the next check_all must not
+        attribute them to its own condition indices."""
+        from repro.core.conditions import Condition, ConditionKind
+        from repro.expr import FALSE, TRUE
+
+        benchmark = get_benchmark("MealyVendingMachine")
+        system = benchmark.system
+        conditions = library_conditions(system)
+        serial_report = make_oracle(
+            system, "explicit", benchmark.k, jobs=1, max_strengthenings=3,
+            canonical=True,
+        ).check_all(conditions)
+        stale = Condition(ConditionKind.STEP, 0, "q", TRUE, FALSE)
+        assert stale != conditions[0]
+        with ParallelCompletenessOracle(
+            system,
+            "explicit",
+            benchmark.k,
+            jobs=2,
+            max_strengthenings=3,
+            start_method="fork",
+        ) as oracle:
+            # Hand-dispatch a batch the parent never collects, tagged
+            # with the pre-check_all generation.
+            worker = oracle._ensure_worker(0)
+            worker.conn.send(("check", oracle._generation, [(0, stale)], None))
+            report = oracle.check_all(conditions)
+        assert report.outcomes[0].condition == conditions[0]
+        assert_reports_identical(report, serial_report)
+
+    def test_worker_failure_never_shortens_report(self):
+        benchmark = get_benchmark("MealyVendingMachine")
+        system = benchmark.system
+        conditions = library_conditions(system)
+        with ParallelCompletenessOracle(
+            system,
+            "explicit",
+            benchmark.k,
+            jobs=2,
+            max_strengthenings=3,
+            start_method="fork",
+            _fault=(1, 0),  # worker 1 dies before sending anything
+        ) as oracle:
+            with pytest.warns(RuntimeWarning):
+                report = oracle.check_all(conditions)
+        assert len(report.outcomes) == len(conditions)
+        assert not report.truncated
+
+
+# ---------------------------------------------------------------------------
+# spawn safety and cross-process pickling
+# ---------------------------------------------------------------------------
+
+
+class TestSpawnSafety:
+    def test_spawn_start_method_matches_serial(self):
+        benchmark = get_benchmark("MealyVendingMachine")
+        system = benchmark.system
+        conditions = library_conditions(system)
+        serial_report = make_oracle(
+            system, "explicit", benchmark.k, jobs=1, max_strengthenings=3,
+            canonical=True,
+        ).check_all(conditions)
+        with ParallelCompletenessOracle(
+            system,
+            "explicit",
+            benchmark.k,
+            jobs=2,
+            max_strengthenings=3,
+            start_method="spawn",
+        ) as oracle:
+            assert_reports_identical(
+                oracle.check_all(conditions), serial_report
+            )
+
+    def test_system_spec_roundtrip(self, two_phase):
+        spec = SystemSpec.of(two_phase)
+        rebuilt = pickle.loads(pickle.dumps(spec)).build()
+        assert rebuilt.name == two_phase.name
+        assert rebuilt.variables == two_phase.variables
+        assert rebuilt.init == two_phase.init
+        assert rebuilt.trans == two_phase.trans
+
+    def test_oracle_spec_rejects_unknown_engine(self, two_phase):
+        with pytest.raises(ValueError, match="spurious_engine"):
+            OracleSpec(system=SystemSpec.of(two_phase), spurious_engine="bogus", k=3)
+        with pytest.raises(ValueError, match="spurious_engine"):
+            ParallelCompletenessOracle(two_phase, "bogus", 3, jobs=2)
+
+    def test_valuation_pickle_recomputes_hash_across_hash_seeds(self):
+        # A valuation pickled under a *different* string-hash seed must
+        # hash consistently with locally built valuations once loaded.
+        code = (
+            "import pickle, sys; sys.path.insert(0, 'src');"
+            "from repro.system import Valuation;"
+            "sys.stdout.buffer.write(pickle.dumps(Valuation({'a': 1, 'b': 2})))"
+        )
+        blob = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            check=True,
+            env={"PYTHONHASHSEED": "12345", "PATH": "/usr/bin:/bin"},
+            cwd=__file__.rsplit("/tests/", 1)[0],
+        ).stdout
+        loaded = pickle.loads(blob)
+        local = Valuation({"a": 1, "b": 2})
+        assert loaded == local
+        assert hash(loaded) == hash(local)
+        assert len({loaded, local}) == 1
+
+
+# ---------------------------------------------------------------------------
+# the jobs knob on the active loop
+# ---------------------------------------------------------------------------
+
+
+class TestActiveLearnerJobs:
+    def test_parallel_loop_reproduces_serial_run(self, cooler):
+        from repro.learn import T2MLearner
+        from repro.traces import random_traces
+
+        def learn(jobs):
+            learner = T2MLearner(
+                mode_vars=list(cooler.state_names),
+                variables={v.name: v for v in cooler.variables},
+            )
+            with ActiveLearner(
+                cooler,
+                learner,
+                k=10,
+                jobs=jobs,
+                oracle_start_method="fork",
+                # Pin the jobs=1 leg to the canonical serial reference so
+                # the two runs are bit-comparable, not merely convergent.
+                canonical_counterexamples=True,
+            ) as active:
+                return active.run(random_traces(cooler, count=10, length=10, seed=1))
+
+        serial = learn(1)
+        parallel = learn(2)
+        assert parallel.converged == serial.converged
+        assert parallel.alpha == serial.alpha
+        assert parallel.iterations == serial.iterations
+        assert parallel.num_states == serial.num_states
+        assert [r.conditions for r in parallel.records] == [
+            r.conditions for r in serial.records
+        ]
+        assert [r.violations for r in parallel.records] == [
+            r.violations for r in serial.records
+        ]
+        assert [r.spurious_excluded for r in parallel.records] == [
+            r.spurious_excluded for r in serial.records
+        ]
