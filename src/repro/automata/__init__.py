@@ -9,6 +9,7 @@ from .minimize import minimize_bisimulation
 from .compare import (
     MatchReport,
     TransitionWitness,
+    nfa_isomorphic,
     transition_match_report,
     transition_match_score,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "check_trace_inclusion",
     "guard_label",
     "minimize_bisimulation",
+    "nfa_isomorphic",
     "to_dot",
     "to_text",
     "transition_match_report",

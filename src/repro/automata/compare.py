@@ -62,3 +62,72 @@ def transition_match_score(
 ) -> float:
     """The paper's ``d`` in one call."""
     return transition_match_report(nfa, witnesses).score
+
+
+def nfa_isomorphic(a: SymbolicNFA, b: SymbolicNFA) -> bool:
+    """Structural isomorphism: a state bijection preserving initial
+    states and guard-labelled transitions (guards compared structurally).
+
+    State *names* are ignored -- two learners (or one learner fed the
+    same traces in different orders) may number and label states
+    differently while building the same automaton.  Intended for the
+    session differential suite; uses signature-pruned backtracking, fine
+    for learned-model sizes (tens of states).
+    """
+    if (
+        a.num_states != b.num_states
+        or a.num_transitions != b.num_transitions
+        or len(a.initial_states) != len(b.initial_states)
+    ):
+        return False
+
+    def signature(nfa: SymbolicNFA, state: int) -> tuple:
+        out = sorted(repr(t.guard) for t in nfa.outgoing(state))
+        inn = sorted(repr(t.guard) for t in nfa.incoming(state))
+        loops = sum(1 for t in nfa.outgoing(state) if t.dst == state)
+        return (state in nfa.initial_states, loops, tuple(out), tuple(inn))
+
+    sig_a = {s: signature(a, s) for s in a.states}
+    sig_b = {s: signature(b, s) for s in b.states}
+    if sorted(sig_a.values()) != sorted(sig_b.values()):
+        return False
+    candidates = {
+        s: [t for t in b.states if sig_b[t] == sig_a[s]] for s in a.states
+    }
+    b_edges = {(t.src, t.guard, t.dst) for t in b.transitions}
+    order = sorted(a.states, key=lambda s: len(candidates[s]))
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    def consistent(state: int, image: int) -> bool:
+        for t in a.outgoing(state):
+            if t.dst in mapping and (image, t.guard, mapping[t.dst]) not in b_edges:
+                return False
+        for t in a.incoming(state):
+            if t.src in mapping and (mapping[t.src], t.guard, image) not in b_edges:
+                return False
+        # Self-loops: both endpoints are `state` itself.
+        for t in a.outgoing(state):
+            if t.dst == state and (image, t.guard, image) not in b_edges:
+                return False
+        return True
+
+    def assign(position: int) -> bool:
+        if position == len(order):
+            return True
+        state = order[position]
+        for image in candidates[state]:
+            if image in used or not consistent(state, image):
+                continue
+            mapping[state] = image
+            used.add(image)
+            if assign(position + 1):
+                return True
+            del mapping[state]
+            used.discard(image)
+        return False
+
+    # An edge-count-preserving injective state map whose edges all land in
+    # b's edge set is automatically surjective on edges (SymbolicNFA
+    # deduplicates transitions), so the backtracking check is complete.
+    return assign(0)

@@ -46,10 +46,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         budget_seconds=args.budget,
         jobs=args.jobs,
+        use_session=args.session,
     )
     state_names = [v.name for v in benchmark.system.state_vars]
     print(TableRow.HEADER)
     print(out.row.format())
+    result = out.result
+    mode = "session" if result.session_mode else "stateless"
+    print(
+        f"learning ({mode}): cold {result.cold_learn_seconds:.3f}s, "
+        f"warm {result.warm_learn_seconds:.3f}s over "
+        f"{result.warm_iterations}/{result.iterations} warm iteration(s)"
+    )
     print()
     print(to_text(out.result.model, title=f"{benchmark.name}/{spec.name}",
                   primed_names=state_names))
@@ -95,6 +103,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 budget_seconds=args.budget,
                 jobs=args.jobs,
+                use_session=args.session,
             )
             active_rows.append(out.row)
             print(out.row.format(), file=sys.stderr, flush=True)
@@ -123,6 +132,15 @@ _JOBS_HELP = (
 )
 
 
+_SESSION_HELP = (
+    "learn through an incremental learner session (default): the trace "
+    "set only grows, so each iteration extends the learner's persistent "
+    "state (APT + SAT solver, merge structures) with the new traces "
+    "instead of re-learning from scratch; --no-session forces a fresh "
+    "learn() per iteration (identical models, more learning time)"
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -148,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--budget", type=float, default=120.0)
     run.add_argument("--jobs", type=int, default=1, help=_JOBS_HELP)
+    run.add_argument(
+        "--session",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=_SESSION_HELP,
+    )
     run.add_argument("--dot", help="write learned model as Graphviz DOT")
     run.add_argument("--invariants", action="store_true")
     run.set_defaults(fn=_cmd_run)
@@ -169,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--baseline", action="store_true")
     table.add_argument("--observations", type=int, default=20_000)
     table.add_argument("--jobs", type=int, default=1, help=_JOBS_HELP)
+    table.add_argument(
+        "--session",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=_SESSION_HELP,
+    )
     table.set_defaults(fn=_cmd_table1)
 
     return parser

@@ -39,10 +39,16 @@ from .parallel import (
     SystemSpec,
     make_oracle,
 )
-from .refine import augment_traces, counterexample_traces, splice_counterexample
+from .refine import (
+    AugmentResult,
+    augment_traces,
+    counterexample_traces,
+    splice_counterexample,
+)
 
 __all__ = [
     "ActiveLearner",
+    "AugmentResult",
     "ActiveLearningResult",
     "BaselineRow",
     "CompletenessOracle",

@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..automata.nfa import SymbolicNFA
-from ..learn.base import ModelLearner
+from ..learn.base import LearnerSession, ModelLearner, start_session
 from ..mc.explicit import reachable_formula, shared_reachability
 from ..system.transition_system import SymbolicSystem
 from ..traces.trace import TraceSet
@@ -35,7 +35,15 @@ from .refine import augment_traces
 
 @dataclass
 class IterationRecord:
-    """Statistics for one learn-check-refine round."""
+    """Statistics for one learn-check-refine round.
+
+    ``warm_start`` is True when the model came out of a learner session
+    reusing state from earlier iterations (False for iteration 1, for
+    stateless learners, and for iterations where the session had to
+    rebuild cold, e.g. after mode-variable drift) -- so benchmarks can
+    separate cold from warm learning time.  Learn/check durations are
+    measured with ``time.perf_counter``.
+    """
 
     index: int
     num_states: int
@@ -47,6 +55,8 @@ class IterationRecord:
     spurious_excluded: int
     learn_seconds: float
     check_seconds: float
+    warm_start: bool = False
+    duplicates_skipped: int = 0
 
 
 @dataclass
@@ -65,6 +75,7 @@ class ActiveLearningResult:
     converged: bool = False
     final_trace_count: int = 0
     recorded_inconclusive: int = 0
+    session_mode: bool = False
 
     @property
     def num_states(self) -> int:
@@ -77,6 +88,22 @@ class ActiveLearningResult:
         if self.total_seconds == 0:
             return 0.0
         return 100.0 * self.learn_seconds / self.total_seconds
+
+    @property
+    def cold_learn_seconds(self) -> float:
+        """Learning time in cold (from-scratch) iterations."""
+        return sum(
+            r.learn_seconds for r in self.records if not r.warm_start
+        )
+
+    @property
+    def warm_learn_seconds(self) -> float:
+        """Learning time in warm (session-reuse) iterations."""
+        return sum(r.learn_seconds for r in self.records if r.warm_start)
+
+    @property
+    def warm_iterations(self) -> int:
+        return sum(1 for r in self.records if r.warm_start)
 
 
 class ActiveLearner:
@@ -134,6 +161,17 @@ class ActiveLearner:
         always on for worker pools.  ``True`` with ``jobs=1`` yields the
         deterministic serial reference that any ``jobs>1`` run
         reproduces bit for bit.
+    use_session:
+        Learn through a :class:`~repro.learn.base.LearnerSession`
+        (default).  The trace set only ever grows across iterations, so
+        sessions re-learn incrementally from the per-iteration delta --
+        a persistent APT + SAT solver for the SAT-DFA learner,
+        persistent merge structures for T2M/k-tails -- instead of from
+        scratch; the per-iteration models are the same either way
+        (differentially tested), only the learning time changes.
+        Learners without a native session run through the stateless
+        adapter, which reproduces the pre-session behaviour exactly.
+        ``False`` forces a plain ``learn()`` call every iteration.
     """
 
     def __init__(
@@ -151,12 +189,14 @@ class ActiveLearner:
         jobs: int = 1,
         oracle_start_method: str = "spawn",
         canonical_counterexamples: bool | None = None,
+        use_session: bool = True,
     ):
         self._system = system
         self._learner = learner
         self._k = k
         self._max_iterations = max_iterations
         self._budget_seconds = budget_seconds
+        self._use_session = use_session
         domain_assumption = None
         if guide_with_reachable:
             if spurious_engine != "explicit":
@@ -204,26 +244,42 @@ class ActiveLearner:
         check_total = 0.0
         model: SymbolicNFA | None = None
         report: OracleReport | None = None
+        session: LearnerSession | None = None
+        delta: tuple = ()
         timed_out = False
         converged = False
         inconclusive_total = 0
 
         for index in range(1, self._max_iterations + 1):
-            learn_start = time.monotonic()
-            model = self._learner.learn(traces)
-            learn_elapsed = time.monotonic() - learn_start
+            learn_start = time.perf_counter()
+            if self._use_session:
+                if session is None:
+                    session = start_session(self._learner, traces)
+                    model = session.model
+                else:
+                    model = session.add_traces(delta)
+                warm_start = session.warm
+            else:
+                model = self._learner.learn(traces)
+                warm_start = False
+            learn_elapsed = time.perf_counter() - learn_start
             learn_total += learn_elapsed
 
-            check_start = time.monotonic()
+            check_start = time.perf_counter()
             conditions = extract_conditions(model)
             report = self._oracle.check_all(conditions, deadline=deadline)
-            check_elapsed = time.monotonic() - check_start
+            check_elapsed = time.perf_counter() - check_start
             check_total += check_elapsed
 
             inconclusive_total += len(report.recorded_inconclusive)
             new_traces = 0
+            duplicates_skipped = 0
+            delta = ()
             if report.violations and not report.truncated:
-                new_traces = augment_traces(traces, report.violations)
+                augmented = augment_traces(traces, report.violations)
+                new_traces = augmented.num_added
+                duplicates_skipped = augmented.duplicates_skipped
+                delta = tuple(augmented.added)
 
             records.append(
                 IterationRecord(
@@ -237,6 +293,8 @@ class ActiveLearner:
                     spurious_excluded=report.total_spurious,
                     learn_seconds=learn_elapsed,
                     check_seconds=check_elapsed,
+                    warm_start=warm_start,
+                    duplicates_skipped=duplicates_skipped,
                 )
             )
 
@@ -279,4 +337,5 @@ class ActiveLearner:
             converged=converged,
             final_trace_count=len(traces),
             recorded_inconclusive=inconclusive_total,
+            session_mode=self._use_session,
         )

@@ -13,6 +13,8 @@ counterexample's second observation is a genuine first observation).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..expr.ast import Expr
 from ..expr.eval import holds
 from ..system.valuation import Valuation
@@ -66,13 +68,39 @@ def counterexample_traces(
     return splice_counterexample(traces, assumption, outcome.counterexample)
 
 
+@dataclass
+class AugmentResult:
+    """Outcome of one refinement round.
+
+    ``added`` is the exact delta spliced into the trace set, in
+    insertion order -- what a learner session consumes.  Splicing can
+    reproduce a trace the set already contains (e.g. two violations
+    sharing a prefix, or a counterexample re-derived in a later
+    iteration); those are deduplicated against the set and counted in
+    ``duplicates_skipped``, so sessions never receive a no-op delta.
+    """
+
+    added: list[Trace] = field(default_factory=list)
+    duplicates_skipped: int = 0
+
+    @property
+    def num_added(self) -> int:
+        return len(self.added)
+
+
 def augment_traces(
     traces: TraceSet, outcomes: list[ConditionOutcome]
-) -> int:
-    """Add ``T_CE`` for every violation to ``traces``; returns #new."""
-    added = 0
+) -> AugmentResult:
+    """Add ``T_CE`` for every violation to ``traces``.
+
+    Returns the genuinely-new traces (the session delta) plus how many
+    spliced candidates were already present.
+    """
+    result = AugmentResult()
     for outcome in outcomes:
         for trace in counterexample_traces(traces, outcome):
             if traces.add(trace):
-                added += 1
-    return added
+                result.added.append(trace)
+            else:
+                result.duplicates_skipped += 1
+    return result

@@ -71,6 +71,7 @@ def run_active(
     max_iterations: int = 50,
     guide_with_reachable: bool = True,
     jobs: int = 1,
+    use_session: bool = True,
 ) -> ActiveRunOutput:
     """Run the active algorithm on one FSA; returns its Table I row.
 
@@ -80,7 +81,11 @@ def run_active(
     (the paper's own timeout mode, reproduced by the guidance ablation
     benchmark).  ``jobs > 1`` shards every iteration's condition checks
     across a persistent worker pool (identical results, lower
-    wall-clock; see :mod:`repro.core.parallel`).
+    wall-clock; see :mod:`repro.core.parallel`).  ``use_session``
+    (default) re-learns incrementally across iterations through a
+    learner session; the per-iteration records then carry ``warm_start``
+    flags so Table I's ``%Tm`` can be split into cold vs warm shares
+    (``result.cold_learn_seconds`` / ``result.warm_learn_seconds``).
     """
     model_learner = learner or default_learner(benchmark, spec)
     traces = random_traces(
@@ -95,6 +100,7 @@ def run_active(
         max_iterations=max_iterations,
         guide_with_reachable=guide_with_reachable and spurious_engine == "explicit",
         jobs=jobs,
+        use_session=use_session,
     ) as active:
         result = active.run(traces)
     d = transition_match_score(result.model, fsa_witnesses(benchmark, spec))

@@ -1,26 +1,41 @@
-"""Model-learning substrate: pluggable trace-to-NFA components."""
+"""Model-learning substrate: pluggable trace-to-NFA components.
+
+Each learner satisfies the one-shot :class:`ModelLearner` contract; the
+shipped learners additionally support *sessions* (incremental
+re-learning over a monotonically growing trace set) via
+:func:`start_session` -- see ``docs/learning_sessions.md``.
+"""
 
 from .base import (
+    FreshLearnSession,
+    LearnerSession,
     LearningError,
     ModelLearner,
     detect_mode_variables,
     infer_variables,
+    start_session,
 )
-from .ktails import KTailsLearner
+from .ktails import KTailsLearner, KTailsSession
 from .predicates import candidate_atoms, synthesize_separator
-from .sat_dfa import IdentifiedDfa, SatDfaLearner, identify_dfa
-from .t2m import T2MLearner
+from .sat_dfa import IdentifiedDfa, SatDfaLearner, SatDfaSession, identify_dfa
+from .t2m import T2MLearner, T2MSession
 
 __all__ = [
+    "FreshLearnSession",
     "IdentifiedDfa",
     "KTailsLearner",
+    "KTailsSession",
+    "LearnerSession",
     "LearningError",
     "ModelLearner",
     "SatDfaLearner",
+    "SatDfaSession",
     "T2MLearner",
+    "T2MSession",
     "candidate_atoms",
     "detect_mode_variables",
     "identify_dfa",
     "infer_variables",
+    "start_session",
     "synthesize_separator",
 ]

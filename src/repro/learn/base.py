@@ -6,16 +6,27 @@ component: *given a set of execution traces T, return an NFA that accepts
 can be plugged in; the reproduction ships three implementations with
 different inductive biases (T2M-style symbolic, k-tails state-merging,
 SAT-minimal DFA identification).
+
+Because the active loop only ever *adds* traces (the trace set grows
+monotonically across iterations), learners may additionally expose a
+*session* API: ``start_session(traces)`` returns a
+:class:`LearnerSession` owning long-lived state (a persistent prefix
+tree and SAT solver, incremental merge structures, ...) that is extended
+in place by ``add_traces(delta)`` instead of being rebuilt from scratch
+every iteration.  Learners without a native session still work through
+:class:`FreshLearnSession`, a stateless adapter that re-learns from the
+accumulated set per delta -- exactly the pre-session behaviour.  See
+``docs/learning_sessions.md``.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, runtime_checkable
 
 from ..automata.nfa import SymbolicNFA
 from ..expr.ast import Var
 from ..expr.types import IntSort
-from ..traces.trace import TraceSet
+from ..traces.trace import Trace, TraceSet
 
 
 @runtime_checkable
@@ -25,6 +36,70 @@ class ModelLearner(Protocol):
     def learn(self, traces: TraceSet) -> SymbolicNFA:
         """Return an NFA admitting every trace in ``traces``."""
         ...
+
+
+@runtime_checkable
+class LearnerSession(Protocol):
+    """Long-lived learning state over a monotonically growing trace set.
+
+    Contract:
+
+    * :attr:`model` is the NFA learned from every trace the session has
+      seen; it is available immediately after ``start_session``.
+    * :meth:`add_traces` extends the session with a *delta* of new
+      traces (traces already seen are ignored) and returns the updated
+      model.  The result must equal what ``learn`` would produce on the
+      full accumulated set.
+    * :attr:`warm` reports whether the most recent model reused state
+      from earlier calls (``False`` for the initial build and after any
+      internal cold rebuild, e.g. when mode-variable detection drifts).
+    * :meth:`reset` drops all warm state and rebuilds from the
+      accumulated traces -- the model itself must not change.
+    """
+
+    model: SymbolicNFA
+    warm: bool
+
+    def add_traces(self, delta: Iterable[Trace]) -> SymbolicNFA:
+        ...
+
+    def reset(self) -> None:
+        ...
+
+
+class FreshLearnSession:
+    """Stateless adapter: a session that re-learns from scratch per delta.
+
+    Wraps any plain :class:`ModelLearner` so session-driven callers (the
+    active loop's default mode) keep working with one-shot learners.
+    Every model is a cold build, so :attr:`warm` is always ``False``.
+    """
+
+    def __init__(self, learner: ModelLearner, traces: TraceSet):
+        self._learner = learner
+        self._traces = traces.copy()
+        self.warm = False
+        self.model = learner.learn(self._traces)
+
+    def add_traces(self, delta: Iterable[Trace]) -> SymbolicNFA:
+        if self._traces.update(delta):
+            self.model = self._learner.learn(self._traces)
+        return self.model
+
+    def reset(self) -> None:
+        self.model = self._learner.learn(self._traces)
+
+
+def start_session(learner: ModelLearner, traces: TraceSet) -> LearnerSession:
+    """Open a learning session, native where the learner supports it.
+
+    Learners exposing ``start_session`` get their own incremental
+    session; anything else is wrapped in :class:`FreshLearnSession`.
+    """
+    opener = getattr(learner, "start_session", None)
+    if opener is not None:
+        return opener(traces)
+    return FreshLearnSession(learner, traces)
 
 
 class LearningError(RuntimeError):

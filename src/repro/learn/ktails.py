@@ -100,21 +100,53 @@ class KTailsLearner:
 
     # ------------------------------------------------------------------
     def learn(self, traces: TraceSet) -> SymbolicNFA:
+        variables, mode_names = self._basis(traces)
+        root = _PtaNode()
+        signatures: dict[tuple[int, int], tuple] = {}
+        for trace in traces:
+            self._insert_trace(root, trace, mode_names, signatures)
+        return self._finish(
+            root, [variables[name] for name in mode_names], signatures
+        )
+
+    def start_session(self, traces: TraceSet) -> "KTailsSession":
+        """Open an incremental session over a growing trace set."""
+        return KTailsSession(self, traces)
+
+    # ------------------------------------------------------------------
+    def _basis(self, traces: TraceSet) -> tuple[dict[str, Var], list[str]]:
         variables = self._variables or infer_variables(traces)
         mode_names = self._mode_vars or detect_mode_variables(
             traces, self._max_distinct
         )
-        mode_vars = [variables[name] for name in mode_names]
+        return variables, mode_names
 
-        root = _PtaNode()
-        for trace in traces:
-            node = root
-            for observation in trace:
-                event = tuple(observation[name] for name in mode_names)
-                node = node.children.setdefault(event, _PtaNode())
+    def _insert_trace(
+        self,
+        root: _PtaNode,
+        trace,
+        mode_names: list[str],
+        signatures: dict[tuple[int, int], tuple],
+    ) -> None:
+        """Extend the PTA with one trace, invalidating memoised k-tail
+        signatures along the insertion path (only those subtrees change,
+        so the rest of the memo survives across session iterations)."""
+        node = root
+        path = [root]
+        for observation in trace:
+            event = tuple(observation[name] for name in mode_names)
+            node = node.children.setdefault(event, _PtaNode())
+            path.append(node)
+        for visited in path:
+            for depth in range(1, self._k + 1):
+                signatures.pop((id(visited), depth), None)
 
-        signatures: dict[int, tuple] = {}
-
+    def _finish(
+        self,
+        root: _PtaNode,
+        mode_vars: list[Var],
+        signatures: dict[tuple[int, int], tuple],
+    ) -> SymbolicNFA:
         def signature(node: _PtaNode, depth: int) -> tuple:
             if depth == 0:
                 return ()
@@ -218,3 +250,64 @@ def _short_label(guard: Expr, mode_vars: list[Var]) -> str | None:
         else:
             parts.append(f"{var.name}={value}")
     return ",".join(parts) if parts else None
+
+
+class KTailsSession:
+    """Incremental re-learning session for :class:`KTailsLearner`.
+
+    The prefix-tree acceptor and the k-tail signature memo persist
+    across iterations: ``add_traces`` splices only the delta into the
+    PTA and invalidates memo entries along the touched paths, so
+    signatures for untouched subtrees -- the bulk of the tree in late
+    iterations -- are never recomputed.  The quotient and absorption
+    steps are global and re-run per model.  A drift in mode-variable
+    auto-detection triggers a cold rebuild (``warm`` reads ``False``).
+    """
+
+    def __init__(self, learner: KTailsLearner, traces: TraceSet):
+        self._learner = learner
+        self._traces = traces.copy()
+        self.warm = False
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        learner = self._learner
+        self._variables, self._mode_names = learner._basis(self._traces)
+        self._root = _PtaNode()
+        self._signatures: dict[tuple[int, int], tuple] = {}
+        for trace in self._traces:
+            learner._insert_trace(
+                self._root, trace, self._mode_names, self._signatures
+            )
+        self._refresh_model()
+        self.warm = False
+
+    def _refresh_model(self) -> None:
+        learner = self._learner
+        self.model = learner._finish(
+            self._root,
+            [self._variables[name] for name in self._mode_names],
+            self._signatures,
+        )
+
+    def add_traces(self, delta) -> SymbolicNFA:
+        new = [trace for trace in delta if self._traces.add(trace)]
+        if not new:
+            return self.model
+        learner = self._learner
+        variables, mode_names = learner._basis(self._traces)
+        if mode_names != self._mode_names:
+            self._rebuild()
+            return self.model
+        self._variables = variables
+        for trace in new:
+            learner._insert_trace(
+                self._root, trace, self._mode_names, self._signatures
+            )
+        self._refresh_model()
+        self.warm = True
+        return self.model
+
+    def reset(self) -> None:
+        """Drop all warm state; rebuild from the accumulated traces."""
+        self._rebuild()

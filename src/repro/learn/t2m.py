@@ -97,6 +97,19 @@ class T2MLearner:
 
     # ------------------------------------------------------------------
     def learn(self, traces: TraceSet) -> SymbolicNFA:
+        variables, mode_names = self._basis(traces)
+        modes: dict[tuple[int, ...], int] = {}  # mode tuple -> dense id
+        edges: dict[tuple[int, tuple[int, ...]], _EdgeData] = {}
+        self._scan_into(traces, mode_names, modes, edges)
+        return self._finish(modes, edges, variables, mode_names)
+
+    def start_session(self, traces: TraceSet) -> "T2MSession":
+        """Open an incremental session over a growing trace set."""
+        return T2MSession(self, traces)
+
+    # ------------------------------------------------------------------
+    def _basis(self, traces: TraceSet) -> tuple[dict[str, Var], list[str]]:
+        """(variables, mode names) for a trace set, with sanity checks."""
         variables = self._variables or infer_variables(traces)
         mode_names = self._mode_vars or detect_mode_variables(
             traces, self._max_distinct
@@ -104,6 +117,41 @@ class T2MLearner:
         missing = [name for name in mode_names if name not in variables]
         if missing:
             raise ValueError(f"mode variables not in data: {missing}")
+        return variables, mode_names
+
+    @staticmethod
+    def _scan_into(
+        traces,
+        mode_names: list[str],
+        modes: dict[tuple[int, ...], int],
+        edges: dict[tuple[int, tuple[int, ...]], _EdgeData],
+    ) -> None:
+        """Fold traces into the mode/edge structures (incremental-safe:
+        scanning a delta continues exactly where the full scan left off,
+        so dense mode ids and example orders match a one-shot scan)."""
+        for trace in traces:
+            source = _INIT
+            for observation in trace:
+                mode = tuple(observation[name] for name in mode_names)
+                if mode not in modes:
+                    modes[mode] = len(modes)
+                target = modes[mode]
+                edges.setdefault((source, mode), _EdgeData()).add(observation)
+                source = target
+
+    def _finish(
+        self,
+        modes: dict[tuple[int, ...], int],
+        edges: dict[tuple[int, tuple[int, ...]], _EdgeData],
+        variables: dict[str, Var],
+        mode_names: list[str],
+    ) -> SymbolicNFA:
+        """Build the NFA from (copies of) the merge structures."""
+        if not modes:
+            # No observations at all: the trivial accepting point.
+            nfa = SymbolicNFA()
+            nfa.add_state("init", initial=True)
+            return nfa
         data_vars = [
             var for name, var in sorted(variables.items())
             if name not in mode_names
@@ -119,32 +167,13 @@ class T2MLearner:
         else:
             data_pools = [data_vars]
         mode_vars = [variables[name] for name in mode_names]
-
-        modes: dict[tuple[int, ...], int] = {}  # mode tuple -> dense id
-        edges: dict[tuple[int, tuple[int, ...]], _EdgeData] = {}
-
-        def mode_of(observation: Valuation) -> tuple[int, ...]:
-            return tuple(observation[name] for name in mode_names)
-
-        def state_of(mode: tuple[int, ...]) -> int:
-            if mode not in modes:
-                modes[mode] = len(modes)
-            return modes[mode]
-
-        for trace in traces:
-            source = _INIT
-            for observation in trace:
-                mode = mode_of(observation)
-                target = state_of(mode)
-                edges.setdefault((source, mode), _EdgeData()).add(observation)
-                source = target
-
-        if not modes:
-            # No observations at all: the trivial accepting point.
-            nfa = SymbolicNFA()
-            nfa.add_state("init", initial=True)
-            return nfa
-
+        # _resolve_initial mutates the edge map (it folds _INIT edges
+        # into the chosen state), so sessions hand over a copy and keep
+        # their persistent structures pristine.
+        edges = {
+            key: _EdgeData(examples=list(data.examples), seen=set(data.seen))
+            for key, data in edges.items()
+        }
         initial_source = self._resolve_initial(modes, edges)
         return self._build_nfa(
             modes, edges, initial_source, mode_names, mode_vars, data_pools
@@ -283,3 +312,59 @@ def _render_value(var: Var, value: int) -> str:
     if isinstance(var.sort, EnumSort):
         return var.sort.member_name(value)
     return str(value)
+
+
+class T2MSession:
+    """Incremental re-learning session for :class:`T2MLearner`.
+
+    The mode table and edge/example structures -- the part of learning
+    that scans every observation and deduplicates examples -- persist
+    across iterations; ``add_traces`` folds only the delta in.  Initial-
+    state resolution and guard synthesis still run per model (they are
+    global decisions), but on copies, so the accumulated structures are
+    never mutated.  Dense mode ids are assigned in first-seen order, so
+    a warm model is identical to a fresh ``learn`` on the full set.
+
+    If mode-variable auto-detection drifts under new data the session
+    rebuilds cold (``warm`` reads ``False`` for that iteration).
+    """
+
+    def __init__(self, learner: T2MLearner, traces: TraceSet):
+        self._learner = learner
+        self._traces = traces.copy()
+        self.warm = False
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        learner = self._learner
+        self._variables, self._mode_names = learner._basis(self._traces)
+        self._modes: dict[tuple[int, ...], int] = {}
+        self._edges: dict[tuple[int, tuple[int, ...]], _EdgeData] = {}
+        learner._scan_into(
+            self._traces, self._mode_names, self._modes, self._edges
+        )
+        self.model = learner._finish(
+            self._modes, self._edges, self._variables, self._mode_names
+        )
+        self.warm = False
+
+    def add_traces(self, delta) -> SymbolicNFA:
+        new = [trace for trace in delta if self._traces.add(trace)]
+        if not new:
+            return self.model
+        learner = self._learner
+        variables, mode_names = learner._basis(self._traces)
+        if mode_names != self._mode_names:
+            self._rebuild()
+            return self.model
+        self._variables = variables
+        learner._scan_into(new, mode_names, self._modes, self._edges)
+        self.model = learner._finish(
+            self._modes, self._edges, self._variables, self._mode_names
+        )
+        self.warm = True
+        return self.model
+
+    def reset(self) -> None:
+        """Drop all warm state; rebuild from the accumulated traces."""
+        self._rebuild()

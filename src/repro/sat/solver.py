@@ -20,6 +20,18 @@ activity survive between calls.  ``add_clause`` may be called between
 solves, and clauses can be registered under *retractable groups*
 (activation literals) so a whole block of constraints can be switched
 off permanently with :meth:`Solver.retract_group`.
+
+Because instances now live for entire active-learning *runs* (learner
+sessions and the incremental condition checkers keep one solver hot
+across every iteration), the learned-clause database is kept healthy
+with LBD (literal block distance) scoring: each learned clause is
+tagged with the number of distinct decision levels it spans, the tag is
+refreshed whenever the clause participates in conflict analysis, and
+periodic reductions drop the worst-scored half while always retaining
+"glue" clauses (LBD <= 2), binary clauses, and clauses locked as
+propagation reasons.  :meth:`Solver.maintain` exposes the same hygiene
+(plus VSIDS activity rescaling and lazy-heap compaction) as an explicit
+hook for session owners to call between iterations.
 """
 
 from __future__ import annotations
@@ -47,6 +59,20 @@ def luby(i: int) -> int:
         seq -= 1
         x %= size
     return 1 << seq
+
+
+class _LearnedClause(list):
+    """A learned clause with its LBD score (distinct decision levels).
+
+    Subclasses ``list`` so watch lists and propagation treat it exactly
+    like a problem clause; only the reduction policy reads the tag.
+    """
+
+    __slots__ = ("lbd",)
+
+    def __init__(self, lits, lbd: int):
+        super().__init__(lits)
+        self.lbd = lbd
 
 
 @dataclass
@@ -302,6 +328,16 @@ class Solver:
                 break
             next_reason = self._reason[var]
             assert next_reason is not None, "UIP literal must have a reason"
+            if isinstance(next_reason, _LearnedClause):
+                # Aging refresh: a clause pulled into conflict analysis
+                # is alive; re-score it so reductions keep it around.
+                levels = len({
+                    self._level[abs(q)]
+                    for q in next_reason
+                    if self._level[abs(q)] > 0
+                })
+                if levels and levels < next_reason.lbd:
+                    next_reason.lbd = levels
             reason = next_reason
         learned = self._minimize(learned)
         if len(learned) == 1:
@@ -343,29 +379,38 @@ class Solver:
         del self._trail_lim[level:]
         self._prop_head = min(self._prop_head, len(self._trail))
 
-    def _record_learned(self, clause: list[int]) -> None:
+    def _record_learned(self, clause: list[int], lbd: int) -> None:
         if len(clause) == 1:
             self._enqueue(clause[0], None)
             return
-        self._learned.append(clause)
-        self._watch(clause)
-        self._enqueue(clause[0], clause)
+        learned = _LearnedClause(clause, lbd)
+        self._learned.append(learned)
+        self._watch(learned)
+        self._enqueue(learned[0], learned)
 
-    def _reduce_learned(self) -> None:
-        if len(self._learned) < self._max_learned:
+    def _reduce_learned(self, force: bool = False) -> None:
+        """LBD-based learned-clause reduction.
+
+        Drops the worst-scored half (high LBD, then long) of the
+        database, always retaining glue clauses (LBD <= 2), binary
+        clauses, and clauses currently locked as propagation reasons --
+        dropping a reason would leave a dangling pointer in the
+        implication graph.  ``force`` reduces even under budget (the
+        session-hygiene path); organic reductions also grow the budget.
+        """
+        if not force and len(self._learned) < self._max_learned:
             return
         locked = {
             id(self._reason[v])
             for v in range(1, self._num_vars + 1)
             if self._reason[v] is not None
         }
-        # Prefer keeping short clauses; drop the longer half.
-        self._learned.sort(key=len)
+        self._learned.sort(key=lambda c: (c.lbd, len(c)))
         half = len(self._learned) // 2
         dropped = {
             id(c)
             for c in self._learned[half:]
-            if id(c) not in locked and len(c) > 2
+            if id(c) not in locked and len(c) > 2 and c.lbd > 2
         }
         if not dropped:
             return
@@ -374,7 +419,47 @@ class Solver:
             self._watches[lit] = [
                 c for c in self._watches[lit] if id(c) not in dropped
             ]
-        self._max_learned = int(self._max_learned * 1.3)
+        if not force:
+            self._max_learned = int(self._max_learned * 1.3)
+
+    # ------------------------------------------------------------------
+    # long-lived-solver hygiene
+    # ------------------------------------------------------------------
+    def rescale_var_activity(self) -> None:
+        """Normalise VSIDS activities and compact the lazy heap.
+
+        Long-lived solvers accumulate both very large activity values
+        (the increment grows geometrically) and stale heap entries (one
+        per bump).  Dividing everything by the maximum activity keeps
+        the ordering while restoring headroom, and rebuilding the heap
+        drops the dead weight.
+        """
+        top = max(self._activity[1:], default=0.0)
+        if top > 1e20:
+            factor = 1.0 / top
+            for var in range(1, self._num_vars + 1):
+                self._activity[var] *= factor
+            self._var_inc = max(self._var_inc * factor, 1.0)
+        self._compact_order()
+
+    def _compact_order(self) -> None:
+        self._order = [
+            (-self._activity[var], var)
+            for var in range(1, self._num_vars + 1)
+        ]
+        heapq.heapify(self._order)
+
+    def maintain(self) -> None:
+        """Periodic hygiene hook for session-scoped solvers.
+
+        Call between logically separate workloads (e.g. active-learning
+        iterations): ages the learned-clause database once it exceeds
+        half its budget and rescales/compacts the VSIDS state.  Safe to
+        call at any decision level 0 point; never drops reason clauses.
+        """
+        if len(self._learned) > self._max_learned // 2:
+            self._reduce_learned(force=True)
+        self.rescale_var_activity()
 
     # ------------------------------------------------------------------
     # decisions
@@ -427,8 +512,14 @@ class Solver:
                     self._ok = False
                     return self._result(False)
                 learned, back_level = self._analyze(conflict)
+                # LBD must be read off the pre-backtrack levels.
+                lbd = len({
+                    self._level[abs(q)]
+                    for q in learned
+                    if self._level[abs(q)] > 0
+                })
                 self._backtrack(back_level)
-                self._record_learned(learned)
+                self._record_learned(learned, lbd)
                 self._var_inc *= self._var_decay
                 continue
             if conflicts_since_restart >= restart_budget and self._trail_lim:
@@ -437,6 +528,8 @@ class Solver:
                 restart_budget = 64 * luby(restart_count + 1)
                 self._backtrack(0)
                 self._reduce_learned()
+                if len(self._order) > max(1024, 4 * self._num_vars):
+                    self._compact_order()
                 continue
             lit = 0
             while len(self._trail_lim) < len(assumed):

@@ -59,7 +59,17 @@ class Trace:
 
 
 class TraceSet:
-    """A deduplicating, order-preserving collection of traces."""
+    """A deduplicating, order-preserving collection of traces.
+
+    Trace sets are *append-only*: there is deliberately no removal
+    operation, so the set only ever grows.  This monotone-growth
+    invariant is what makes incremental re-learning sound (the learner
+    sessions of :mod:`repro.learn` extend their internal structures in
+    place and never have to handle retraction), and the append log
+    doubles as a delta view: :attr:`version` is a snapshot marker and
+    :meth:`since` returns exactly the traces added after a snapshot, in
+    insertion order.
+    """
 
     def __init__(self, traces: Iterable[Trace] = ()):
         self._traces: list[Trace] = []
@@ -94,6 +104,29 @@ class TraceSet:
     @property
     def total_observations(self) -> int:
         return sum(len(trace) for trace in self._traces)
+
+    @property
+    def version(self) -> int:
+        """Snapshot marker for the append log (= number of traces).
+
+        Because the set is append-only, ``version`` is monotone and two
+        snapshots ``a <= b`` delimit exactly the traces added between
+        them: ``traces.since(a)[: b - a]``.
+        """
+        return len(self._traces)
+
+    def since(self, version: int) -> tuple[Trace, ...]:
+        """The traces appended after snapshot ``version``, in order.
+
+        This is the delta view learner sessions consume: after an
+        iteration adds counterexample traces, ``since(v)`` for the
+        pre-iteration ``v`` is precisely the new material.
+        """
+        if not 0 <= version <= len(self._traces):
+            raise ValueError(
+                f"snapshot {version} out of range for {self!r}"
+            )
+        return tuple(self._traces[version:])
 
     def copy(self) -> "TraceSet":
         return TraceSet(self._traces)

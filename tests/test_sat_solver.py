@@ -275,3 +275,105 @@ class TestGateBuilder:
         cnf, gates = self._fresh()
         gates.assert_true(gates.false_lit)
         assert not solve_cnf(cnf).satisfiable
+
+
+class TestClauseDbHygiene:
+    """LBD-scored learned-clause aging for long-lived (session) solvers."""
+
+    def test_learned_clauses_carry_lbd_tags(self):
+        from repro.sat.solver import _LearnedClause
+
+        solver = Solver(pigeonhole_cnf(5, 4))
+        assert not solver.solve().satisfiable
+        assert solver.conflicts > 0
+        for clause in solver._learned:
+            assert isinstance(clause, _LearnedClause)
+            assert clause.lbd >= 1
+
+    def test_reduction_never_drops_reason_clauses(self):
+        """Every reduction (organic and forced) must keep clauses that
+        are currently locked as propagation reasons: a dropped reason
+        would dangle in the implication graph."""
+        solver = Solver(pigeonhole_cnf(6, 5))
+        solver._max_learned = 8  # force constant reduction churn
+        reductions = 0
+        original = solver._reduce_learned
+
+        def checked(force=False):
+            nonlocal reductions
+            original(force)
+            reductions += 1
+            live = {
+                id(clause)
+                for watch in solver._watches.values()
+                for clause in watch
+            }
+            for var in range(1, solver._num_vars + 1):
+                reason = solver._reason[var]
+                if reason is not None and len(reason) > 1:
+                    assert id(reason) in live, (
+                        f"reduction dropped the reason of v{var}"
+                    )
+
+        solver._reduce_learned = checked
+        assert not solver.solve().satisfiable
+        assert reductions > 0, "workload never triggered a reduction"
+
+    def test_forced_reduction_keeps_glue_and_binary_clauses(self):
+        solver = Solver(pigeonhole_cnf(6, 5))
+        assert not solver.solve().satisfiable
+        protected = {
+            id(c) for c in solver._learned if c.lbd <= 2 or len(c) <= 2
+        }
+        before = solver.num_learned
+        solver._reduce_learned(force=True)
+        survivors = {id(c) for c in solver._learned}
+        assert protected <= survivors, "reduction dropped a glue clause"
+        if before > len(protected):
+            assert solver.num_learned < before
+
+    def test_maintain_between_solves_preserves_verdicts(self):
+        """The session-hygiene hook may be called between queries without
+        changing any answer (clause deletion only forgets lemmas)."""
+        rng = random.Random(7)
+        cnf = CNF()
+        cnf.new_vars(9)
+        for _ in range(35):
+            clause_vars = rng.sample(range(1, 10), k=3)
+            cnf.add_clause(
+                [v if rng.random() < 0.5 else -v for v in clause_vars]
+            )
+        assumption_sets = [
+            [v if rng.random() < 0.5 else -v for v in rng.sample(range(1, 10), k=2)]
+            for _ in range(8)
+        ]
+        reference = Solver(cnf)
+        expected = [
+            reference.solve(assumptions).satisfiable
+            for assumptions in assumption_sets
+        ]
+        maintained = Solver(cnf)
+        observed = []
+        for assumptions in assumption_sets:
+            observed.append(maintained.solve(assumptions).satisfiable)
+            maintained.maintain()
+        assert observed == expected
+
+    def test_rescale_var_activity_preserves_order_and_compacts(self):
+        solver = Solver(pigeonhole_cnf(5, 4))
+        assert not solver.solve().satisfiable
+        # Blow up the activities artificially and bloat the lazy heap.
+        for var in range(1, solver._num_vars + 1):
+            solver._activity[var] *= 1e30
+        ranking = sorted(
+            range(1, solver._num_vars + 1),
+            key=lambda v: (-solver._activity[v], v),
+        )
+        solver.rescale_var_activity()
+        after = sorted(
+            range(1, solver._num_vars + 1),
+            key=lambda v: (-solver._activity[v], v),
+        )
+        assert after == ranking
+        assert max(solver._activity[1:]) <= 1.0
+        assert len(solver._order) == solver._num_vars
