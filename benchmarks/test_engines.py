@@ -1,11 +1,13 @@
-"""Cross-engine benchmark: the three model-checking back-ends agree.
+"""Cross-engine benchmark: the model-checking back-ends agree.
 
-The reproduction ships three engines answering the Fig. 3b reachability
+The reproduction ships four engines answering the Fig. 3b reachability
 question -- SAT-based k-induction (the literal paper mechanism), explicit
-BFS, and BDD symbolic image computation.  This benchmark (a) verifies
-they produce identical α = 1 results driving the full loop, and (b)
-records their relative cost on a mid-sized benchmark, so regressions in
-any engine are visible.
+BFS, BDD symbolic image computation, and IC3/PDR proofs (see
+``docs/engines.md``).  This benchmark (a) verifies they produce
+identical α = 1 results driving the full loop, and (b) records their
+relative cost on a mid-sized benchmark, so regressions in any engine
+are visible.  ``benchmarks/test_ic3.py`` drills further into the proof
+engine specifically.
 
 Run:  pytest benchmarks/test_engines.py --benchmark-only -s
 """
@@ -23,7 +25,7 @@ BENCH = "ModelingALaunchAbortSystem"
 FSA = "Overall"
 
 
-@pytest.mark.parametrize("engine", ["explicit", "bdd"])
+@pytest.mark.parametrize("engine", ["explicit", "bdd", "ic3"])
 def test_loop_with_engine(benchmark, engine):
     bench = get_benchmark(BENCH)
 

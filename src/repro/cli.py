@@ -23,6 +23,8 @@ from .core import (
     render_invariants,
 )
 from .evaluation import run_active, run_random_baseline
+from .expr.printer import to_str
+from .mc.spurious import SPURIOUS_ENGINES
 from .stateflow.library import benchmark_names, get_benchmark
 
 
@@ -45,6 +47,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_length=args.length,
         seed=args.seed,
         budget_seconds=args.budget,
+        spurious_engine=args.engine,
         jobs=args.jobs,
         use_session=args.session,
     )
@@ -64,6 +67,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if out.result.invariants and args.invariants:
         print("\nInvariants:")
         print(render_invariants(out.result.invariants))
+    if out.result.proved_invariant is not None:
+        print(
+            "\nIC3 proved inductive invariant (over-approximates the "
+            "reachable states):"
+        )
+        print(f"  {to_str(out.result.proved_invariant)}")
+    elif args.engine == "ic3" and args.jobs > 1:
+        print(
+            "\n(IC3 frame invariants live in the --jobs worker processes "
+            "and are not collected; run with --jobs 1 to print the proved "
+            "invariant.)"
+        )
     if args.dot:
         with open(args.dot, "w") as handle:
             handle.write(
@@ -81,6 +96,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         spec,
         num_observations=args.observations,
         seed=args.seed,
+        spurious_engine=args.engine,
         jobs=args.jobs,
     )
     print(BaselineRow.HEADER)
@@ -102,6 +118,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
                 trace_length=args.length,
                 seed=args.seed,
                 budget_seconds=args.budget,
+                spurious_engine=args.engine,
                 jobs=args.jobs,
                 use_session=args.session,
             )
@@ -110,7 +127,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             if args.baseline:
                 base = run_random_baseline(
                     benchmark, spec, num_observations=args.observations,
-                    seed=args.seed, jobs=args.jobs,
+                    seed=args.seed, spurious_engine=args.engine,
+                    jobs=args.jobs,
                 )
                 baseline_rows.append(base.row)
     print("\nTable I (active algorithm):")
@@ -129,6 +147,17 @@ _JOBS_HELP = (
     "same-symbol conditions return to the worker whose learned-clause "
     "database already covers them) and the merged report is bit-for-bit "
     "identical to the serial one."
+)
+
+
+_ENGINE_HELP = (
+    "spuriousness engine for counterexample classification (Fig. 3b): "
+    "'explicit' (default; exact BFS over representative inputs), 'bdd' "
+    "(exact symbolic fixpoint), 'kinduction' (the literal bounded paper "
+    "check; can report inconclusive), 'ic3' (unbounded IC3/PDR proofs; "
+    "never inconclusive, no k to choose, prints the proved inductive "
+    "invariant) or 'none' (treat every counterexample as valid). See "
+    "docs/engines.md."
 )
 
 
@@ -165,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--length", type=int, default=50)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--budget", type=float, default=120.0)
+    run.add_argument(
+        "--engine", choices=SPURIOUS_ENGINES, default="explicit",
+        help=_ENGINE_HELP,
+    )
     run.add_argument("--jobs", type=int, default=1, help=_JOBS_HELP)
     run.add_argument(
         "--session",
@@ -181,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
     base.add_argument("--fsa")
     base.add_argument("--observations", type=int, default=20_000)
     base.add_argument("--seed", type=int, default=0)
+    base.add_argument(
+        "--engine", choices=SPURIOUS_ENGINES, default="explicit",
+        help=_ENGINE_HELP,
+    )
     base.add_argument("--jobs", type=int, default=1, help=_JOBS_HELP)
     base.set_defaults(fn=_cmd_baseline)
 
@@ -190,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--length", type=int, default=50)
     table.add_argument("--seed", type=int, default=0)
     table.add_argument("--budget", type=float, default=60.0)
+    table.add_argument(
+        "--engine", choices=SPURIOUS_ENGINES, default="explicit",
+        help=_ENGINE_HELP,
+    )
     table.add_argument("--baseline", action="store_true")
     table.add_argument("--observations", type=int, default=20_000)
     table.add_argument("--jobs", type=int, default=1, help=_JOBS_HELP)

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..automata.nfa import SymbolicNFA
+from ..expr.ast import Expr
 from ..learn.base import LearnerSession, ModelLearner, start_session
 from ..mc.explicit import reachable_formula, shared_reachability
 from ..system.transition_system import SymbolicSystem
@@ -68,6 +69,12 @@ class ActiveLearningResult:
     iterations: int
     records: list[IterationRecord] = field(default_factory=list)
     invariants: list[Invariant] = field(default_factory=list)
+    #: Inductive invariant accumulated by a proof-based spuriousness
+    #: engine (``spurious_engine="ic3"``): the conjunction of every
+    #: frame clause IC3 converged on while classifying counterexamples.
+    #: None for the other engines (and under ``jobs > 1``, where the
+    #: frames live in worker processes).
+    proved_invariant: "Expr | None" = None
     total_seconds: float = 0.0
     learn_seconds: float = 0.0
     check_seconds: float = 0.0
@@ -122,8 +129,11 @@ class ActiveLearner:
     spurious_engine:
         ``"explicit"`` (exact reachability oracle; default), ``"bdd"``
         (exact symbolic reachability via BDD image computation),
-        ``"kinduction"`` (the literal Fig. 3b SAT check) or ``"none"``
-        (skip the check; every counterexample treated as valid).
+        ``"kinduction"`` (the literal Fig. 3b SAT check), ``"ic3"``
+        (unbounded IC3/PDR proofs: never inconclusive, no ``k``
+        sensitivity, generalized spurious exclusions) or ``"none"``
+        (skip the check; every counterexample treated as valid).  See
+        ``docs/engines.md``.
     respect_k:
         For the explicit engine: report what a k-bounded analysis would
         (states deeper than ``k`` come back inconclusive).
@@ -323,6 +333,10 @@ class ActiveLearner:
             if converged
             else []
         )
+        proved_invariant = None
+        checker = getattr(self._oracle, "spurious_checker", None)
+        if checker is not None:
+            proved_invariant = getattr(checker, "proved_invariant", None)
         total = time.monotonic() - start
         return ActiveLearningResult(
             model=model,
@@ -330,6 +344,7 @@ class ActiveLearner:
             iterations=len(records),
             records=records,
             invariants=invariants,
+            proved_invariant=proved_invariant,
             total_seconds=total,
             learn_seconds=learn_total,
             check_seconds=check_total,

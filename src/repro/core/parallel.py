@@ -18,7 +18,11 @@ strengthening knobs, optional domain assumption -- from which each worker
 rebuilds its own :class:`~repro.core.oracle.CompletenessOracle`, with its
 own persistent :class:`~repro.mc.condition_check.IncrementalConditionChecker`.
 This works under any multiprocessing start method; the default is
-``"spawn"``.
+``"spawn"``.  Because the spuriousness strategy travels by *name*, the
+proof engines ride along for free: a worker given ``"ic3"`` rebuilds its
+own :class:`~repro.mc.ic3.Ic3Engine` whose frames then strengthen
+monotonically across every condition routed to that worker (sticky
+affinity keeps those proofs hot, exactly like the learned clauses).
 
 **Sticky affinity.**  Workers live for the oracle's lifetime, so their
 solvers accumulate learned clauses exactly like the serial checker does.
@@ -339,6 +343,18 @@ class ParallelCompletenessOracle:
         if self._closed:
             raise RuntimeError("oracle is closed")
         return self._serial_oracle().check(condition, deadline=deadline)
+
+    @property
+    def spurious_checker(self):
+        """The in-process fallback oracle's checker, if one was built.
+
+        Worker processes own their own checkers (and IC3 frames); those
+        are not reachable from the parent, so invariant reporting under
+        ``jobs > 1`` only reflects the serial fallback path.
+        """
+        if self._serial is None:
+            return None
+        return self._serial.spurious_checker
 
     # -- sharding ------------------------------------------------------
     @staticmethod

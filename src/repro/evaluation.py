@@ -134,6 +134,7 @@ def run_random_baseline(
     trace_length: int = 50,
     seed: int = 0,
     learner: ModelLearner | None = None,
+    spurious_engine: str = "explicit",
     guide_with_reachable: bool = True,
     jobs: int = 1,
 ) -> BaselineRunOutput:
@@ -142,8 +143,9 @@ def run_random_baseline(
     ``num_observations`` plays the paper's "one million randomly sampled
     inputs" role at laptop scale; α of the passively learned model is
     measured with the same condition checker as the active algorithm
-    (spurious counterexamples excluded through the exact engine, so the
-    reported α is not depressed by unreachable-state artefacts).
+    (spurious counterexamples excluded through an exact engine --
+    ``spurious_engine`` picks which, default the explicit table -- so
+    the reported α is not depressed by unreachable-state artefacts).
     """
     start = time.monotonic()
     count = max(1, num_observations // trace_length)
@@ -154,13 +156,13 @@ def run_random_baseline(
     model = model_learner.learn(traces)
     with make_oracle(
         benchmark.system,
-        "explicit",
+        spurious_engine,
         benchmark.k,
         jobs=jobs,
         respect_k=False,
         domain_assumption=(
             reachable_formula(benchmark.system)
-            if guide_with_reachable
+            if guide_with_reachable and spurious_engine == "explicit"
             else None
         ),
     ) as oracle:

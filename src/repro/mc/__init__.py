@@ -24,10 +24,18 @@ from .harness import (
     spurious_harness,
     strengthened_assumption,
 )
+from .ic3 import (
+    Ic3Engine,
+    Ic3Result,
+    Ic3Spuriousness,
+    Ic3Stats,
+    shared_ic3,
+)
 from .kinduction import (
     KInductionEngine,
     k_induction,
     prove_unreachable,
+    shared_kinduction,
     step_case_holds,
 )
 from .symbolic import (
@@ -35,11 +43,14 @@ from .symbolic import (
     BddGateBuilder,
     SymbolicReachability,
     SymbolicSpuriousness,
+    shared_symbolic_reachability,
 )
 from .spurious import (
+    SPURIOUS_ENGINES,
     ExplicitSpuriousness,
     KInductionSpuriousness,
     SpuriousnessChecker,
+    build_spurious_checker,
     state_equality_formula,
 )
 from .verdicts import (
@@ -56,6 +67,10 @@ __all__ = [
     "BmcResult",
     "BoundedModelChecker",
     "ConditionCheckResult",
+    "Ic3Engine",
+    "Ic3Result",
+    "Ic3Spuriousness",
+    "Ic3Stats",
     "IncrementalUnroller",
     "KInductionEngine",
     "ExplicitReachability",
@@ -65,13 +80,18 @@ __all__ = [
     "InductionOutcome",
     "KInductionResult",
     "KInductionSpuriousness",
+    "SPURIOUS_ENGINES",
     "SpuriousVerdict",
     "SpuriousnessChecker",
     "SymbolicReachability",
     "SymbolicSpuriousness",
     "StateSpaceLimitExceeded",
+    "build_spurious_checker",
     "reachable_formula",
+    "shared_ic3",
+    "shared_kinduction",
     "shared_reachability",
+    "shared_symbolic_reachability",
     "bmc",
     "bmc_single_query",
     "check_condition",

@@ -22,15 +22,12 @@ from collections import deque
 from typing import Callable, Mapping
 
 from ..expr.ast import Expr, eq, land, lor
-from ..system.transition_system import SymbolicSystem
+from ..system.transition_system import SymbolicSystem, shared_analysis
 from ..system.valuation import Valuation
 
 
 class StateSpaceLimitExceeded(RuntimeError):
     """Raised when BFS touches more states than the configured budget."""
-
-
-_ENGINE_ATTR = "_shared_reachability_engine"
 
 
 def shared_reachability(system: SymbolicSystem) -> "ExplicitReachability":
@@ -39,21 +36,12 @@ def shared_reachability(system: SymbolicSystem) -> "ExplicitReachability":
     Active-learning runs, baselines and witness generation all need the
     same BFS; benchmark systems live for the whole process (the library
     caches them), so sharing the explored table avoids re-exploration.
-
-    The engine is stored on the system instance itself rather than in a
-    module-level ``id()``-keyed dict: ids are recycled after garbage
-    collection, so a global table could hand a fresh system a dead
-    system's reachability table, and it would grow without bound.  The
-    attribute gives WeakValueDictionary-style lifetime (the cache entry
-    dies exactly when the system does) with exact identity semantics.
+    Lifetime and copied-instance semantics come from
+    :func:`~repro.system.transition_system.shared_analysis`.
     """
-    engine = getattr(system, _ENGINE_ATTR, None)
-    # ``engine._system is system`` guards against copied instances that
-    # inherited the attribute via ``__dict__`` duplication.
-    if engine is None or engine._system is not system:
-        engine = ExplicitReachability(system)
-        setattr(system, _ENGINE_ATTR, engine)
-    return engine
+    return shared_analysis(
+        system, "_shared_reachability_engine", ExplicitReachability
+    )
 
 
 class ExplicitReachability:

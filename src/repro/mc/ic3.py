@@ -1,0 +1,534 @@
+"""IC3/PDR: unbounded reachability proofs by property-directed frames.
+
+The Fig. 3b spuriousness check asks one question per counterexample:
+*is this state reachable?*  k-induction answers it only up to the
+user-chosen bound ``k`` -- weak-induction failures come back
+inconclusive and get recorded as valid counterexamples, injecting
+spurious behaviour into the learned model (paper §IV-B).  This module
+answers the same question *unboundedly*: :class:`Ic3Engine` implements
+property-directed reachability (Bradley's IC3 / Een-Mishchenko-Brayton
+PDR) over the incremental SAT stack, so every verdict is either a
+concrete reachability witness chain or an inductive invariant -- never
+"the induction was too weak".
+
+How it maps onto the existing substrate
+---------------------------------------
+
+*One persistent* :class:`~repro.smt.solver.SmtSolver` holds the
+transition relation ``R(X, X')`` exactly like the condition checker
+does.  Frames are **not** re-encoded per query:
+
+* frame ``i`` owns a Boolean activation variable; every clause blocked
+  at frame ``i`` is asserted permanently as ``act_i -> clause``, and a
+  query against ``F_i`` simply *assumes* the activation literals of
+  frames ``i..top`` (the standard delta encoding
+  ``F_i = /\\_{j>=i} frames[j]``);
+* a relative-induction query ``SAT(F_{i-1} /\\ ¬c /\\ R /\\ c')``
+  assumes one literal per conjunct of the primed cube ``c'``, so an
+  UNSAT answer's :attr:`~repro.sat.solver.SolveResult.unsat_core`
+  (final-conflict analysis, new in this PR) immediately yields the
+  subcube that was actually blocked -- IC3's cube generalization for
+  free, no auxiliary solving;
+* frames, clauses and the SAT core's learned lemmas persist across
+  *queries*: blocked clauses only depend on ``Init`` and ``R``, never on
+  the property, so everything proved while classifying one
+  counterexample keeps working for the next.  Once any frame closes
+  (``F_i = F_{i+1}``), its clauses form a global inductive invariant;
+  later states it refutes are classified without touching the solver.
+
+:class:`Ic3Spuriousness` packages the engine as a drop-in
+``SpuriousnessChecker`` registered as ``"ic3"``: verdicts are only ever
+SPURIOUS or VALID, there is no bound to choose (the Fig. 3b ``k`` is
+ignored), and each SPURIOUS verdict exposes the *generalized* refuting
+clause so the oracle can strengthen assumptions with a whole blocked
+region instead of the paper's blind single-state ``r ∧ ¬s'``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..expr.ast import Expr, Var, eq, implies, land, lnot, lor
+from ..expr.types import BOOL
+from ..smt.solver import SmtSolver
+from ..system.transition_system import SymbolicSystem, shared_analysis
+from ..system.valuation import Valuation
+from .verdicts import SpuriousVerdict
+
+#: A (partial) assignment of state variables, as ordered (name, value)
+#: pairs following the system's state-variable declaration order.  Full
+#: cubes pin every state variable; generalization produces subcubes.
+Cube = tuple[tuple[str, int], ...]
+
+
+@dataclass
+class Ic3Result:
+    """Outcome of one :meth:`Ic3Engine.prove_unreachable` query.
+
+    Exactly two outcomes exist -- a concrete reachability witness chain
+    was found (``reachable``) or an inductive argument excludes the
+    state forever.  On unreachability, ``refuting_cube`` is a subcube of
+    the query that the proof's invariant blocks *as a region*: every
+    state matching it is unreachable, which is strictly more information
+    than the single queried state.
+    """
+
+    reachable: bool
+    refuting_cube: Cube | None = None
+    invariant_frame: int | None = None
+    from_cache: bool = False
+    solver_checks: int = 0
+
+    @property
+    def proved(self) -> bool:
+        return not self.reachable
+
+
+@dataclass
+class Ic3Stats:
+    """Counters across the engine's lifetime (one system, many queries)."""
+
+    queries: int = 0
+    solver_checks: int = 0
+    clauses_added: int = 0
+    clauses_propagated: int = 0
+    invariant_hits: int = 0
+    generalization_drops: int = 0
+    obligations: int = 0
+
+
+class Ic3Engine:
+    """Persistent property-directed reachability for one system.
+
+    The engine proves concrete states (un)reachable.  Frames strengthen
+    monotonically across queries; see the module docstring for the
+    encoding.  All queries are exact: ``prove_unreachable`` never
+    returns an "inconclusive" and needs no bound.
+
+    ``input_space`` selects which machine is analysed:
+
+    * ``"samples"`` (default) -- steps draw inputs from the system's
+      declared representative sample set, exactly like the explicit BFS
+      engine (and the trace generator's guard-boundary coverage), so
+      verdicts agree with :class:`~repro.mc.explicit.ExplicitReachability`
+      bit for bit.  Systems without declared samples are unconstrained
+      (there the sampled and free semantics coincide).
+    * ``"free"`` -- inputs are fully unconstrained at every step, the
+      literal Fig. 3b machine that BMC/k-induction analyse.
+    """
+
+    def __init__(self, system: SymbolicSystem, input_space: str = "samples"):
+        if input_space not in ("samples", "free"):
+            raise ValueError(
+                f"input_space must be 'samples' or 'free', got {input_space!r}"
+            )
+        self._system = system
+        self._input_space = input_space
+        self._state_names = list(system.state_names)
+        self._init_state = {
+            name: system.init_state[name] for name in self._state_names
+        }
+        self._vars = {name: system.var_by_name(name) for name in self._state_names}
+        self._solver = SmtSolver()
+        for var in system.variables:
+            self._solver.declare(var)
+            self._solver.declare(var.prime())
+        self._solver.add(system.trans)
+        if input_space == "samples" and system.input_samples and system.input_vars:
+            self._solver.add(
+                lor(
+                    *(
+                        land(
+                            *(
+                                eq(var.prime(), sample[var.name])
+                                for var in system.input_vars
+                            )
+                        )
+                        for sample in system.input_samples
+                    )
+                )
+            )
+        self._init_lit = self._solver.literal(system.init)
+        # frames[0] stands for Init and stays empty; frames[i>=1] hold the
+        # delta clauses of F_i.  acts[i] guards frame i's clauses.
+        self._frames: list[list[Cube]] = [[]]
+        self._acts: list[int] = [self._init_lit]
+        # Cubes refuted by some converged (hence globally inductive)
+        # frame; once here, refutation is a dictionary lookup.
+        self._invariant_cubes: list[Cube] = []
+        self._invariant_seen: set[Cube] = set()
+        self._converged_frame: int | None = None
+        self.stats = Ic3Stats()
+
+    # ------------------------------------------------------------------
+    # cube plumbing
+    # ------------------------------------------------------------------
+    def cube_of(self, state: Mapping[str, int]) -> Cube:
+        """The full state cube of an observation/valuation."""
+        return tuple((name, state[name]) for name in self._state_names)
+
+    def cube_expr(self, cube: Cube, primed: bool = False) -> Expr:
+        terms = []
+        for name, value in cube:
+            var = self._vars[name]
+            terms.append(eq(var.prime() if primed else var, value))
+        return land(*terms)
+
+    def clause_expr(self, cube: Cube) -> Expr:
+        """``¬cube``: the blocking clause of a (sub)cube."""
+        return lnot(self.cube_expr(cube))
+
+    def _init_satisfies(self, cube: Cube) -> bool:
+        return all(self._init_state[name] == value for name, value in cube)
+
+    # ------------------------------------------------------------------
+    # frames
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        """Frames unrolled so far (excluding the Init pseudo-frame)."""
+        return len(self._frames) - 1
+
+    def _new_frame(self) -> None:
+        index = len(self._frames)
+        act = Var(f"__ic3_act_{index}", BOOL)
+        self._frames.append([])
+        self._acts.append(self._solver.literal(act))
+
+    def _frame_assumptions(self, j: int) -> list[int]:
+        """Activation literals selecting ``F_j`` (``F_0`` is Init)."""
+        if j == 0:
+            return [self._init_lit]
+        return self._acts[j:]
+
+    def _add_blocking_clause(self, j: int, cube: Cube) -> bool:
+        """Block ``cube`` at frame ``j``; False if it already is.
+
+        The same generalized subcube can be blocked independently at
+        different frames (obligations at a *lower* frame never see the
+        higher copy), so propagation could otherwise duplicate frame
+        entries -- each duplicate re-asserted permanently and re-probed
+        by every later propagation pass over the engine's lifetime.
+        """
+        if cube in self._frames[j]:
+            return False
+        self._frames[j].append(cube)
+        act = Var(f"__ic3_act_{j}", BOOL)
+        self._solver.add(implies(act, self.clause_expr(cube)))
+        self.stats.clauses_added += 1
+        return True
+
+    def _syntactically_blocked(self, i: int, cube: Cube) -> bool:
+        """Is ``cube`` already refuted by a clause of ``F_i``?
+
+        Obligation cubes are full states, so subsumption is a pure
+        dictionary check -- no solver call.
+        """
+        values = dict(cube)
+        for j in range(i, len(self._frames)):
+            for d in self._frames[j]:
+                if all(values.get(name) == value for name, value in d):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _check(self, assumptions: list[int]) -> bool:
+        self.stats.solver_checks += 1
+        return self._solver.check(assuming=assumptions)
+
+    def _cube_sat_at(self, i: int, cube: Cube) -> bool:
+        """SAT(F_i ∧ cube)?"""
+        lit = self._solver.literal(self.cube_expr(cube))
+        return self._check(self._frame_assumptions(i) + [lit])
+
+    def _relative_query(
+        self, i: int, cube: Cube
+    ) -> tuple[bool, Cube | None, Cube | None]:
+        """``SAT(F_{i-1} ∧ ¬cube ∧ R ∧ cube')``.
+
+        Returns ``(sat, predecessor, core_subcube)``: a satisfiable
+        query yields the full predecessor state from the model; an
+        unsatisfiable one yields the subcube of ``cube`` whose primed
+        conjuncts appear in the solver's unsat core -- the generalized
+        cube that is still blocked relative to ``F_{i-1}``.
+        """
+        solver = self._solver
+        assumptions = list(self._frame_assumptions(i - 1))
+        assumptions.append(solver.literal(self.clause_expr(cube)))
+        lit_of: dict[int, tuple[str, int]] = {}
+        for name, value in cube:
+            lit = solver.literal(eq(self._vars[name].prime(), value))
+            lit_of.setdefault(lit, (name, value))
+            assumptions.append(lit)
+        self.stats.solver_checks += 1
+        if solver.check(assuming=assumptions):
+            model = solver.model()
+            pred = tuple((name, model[name]) for name in self._state_names)
+            return True, pred, None
+        core = solver.unsat_core or ()
+        needed = {lit_of[lit] for lit in core if lit in lit_of}
+        subcube = tuple(pair for pair in cube if pair in needed)
+        return False, None, subcube
+
+    # ------------------------------------------------------------------
+    # generalization (unsat-core driven)
+    # ------------------------------------------------------------------
+    def _generalize(self, cube: Cube, core_subcube: Cube) -> Cube:
+        """Largest-region subcube of ``cube`` we may block.
+
+        The core subcube already satisfies relative induction (dropping
+        conjuncts of ``c'`` only weakens the UNSAT query's right side,
+        and ``¬d ⟹ ¬c`` strengthens its left side).  The remaining
+        requirement is ``Init ⟹ ¬d``: if the initial state matches the
+        subcube, a conjunct separating them is restored -- one must
+        exist, because obligations matching Init are answered REACHABLE
+        before blocking ever starts.
+        """
+        kept = core_subcube
+        self.stats.generalization_drops += len(cube) - len(kept)
+        if not self._init_satisfies(kept):
+            return kept
+        values = dict(kept)
+        for name, value in cube:
+            if name not in values and self._init_state[name] != value:
+                self.stats.generalization_drops -= 1
+                restored = dict(cube)
+                return tuple(
+                    (n, restored[n])
+                    for n in self._state_names
+                    if n in values or n == name
+                )
+        raise AssertionError("obligation cube matches Init but was blocked")
+
+    def _push_forward(self, i: int, cube: Cube) -> int:
+        """Highest frame ``j >= i`` at which ``cube`` stays blocked."""
+        j = i
+        top = len(self._frames) - 1
+        while j < top:
+            sat, _pred, _core = self._relative_query(j + 1, cube)
+            if sat:
+                break
+            j += 1
+        return j
+
+    # ------------------------------------------------------------------
+    # the obligation loop
+    # ------------------------------------------------------------------
+    def _block(self, frame: int, cube: Cube) -> bool:
+        """Discharge the obligation that ``cube`` is excluded at ``frame``.
+
+        Returns False when a concrete predecessor chain reaches the
+        initial state (the target is reachable); True when the target is
+        blocked at ``F_frame``.
+        """
+        tie = itertools.count()
+        queue: list[tuple[int, int, Cube]] = [(frame, next(tie), cube)]
+        while queue:
+            i, _seq, c = heapq.heappop(queue)
+            self.stats.obligations += 1
+            if i == 0 or self._init_satisfies(c):
+                return False
+            if self._syntactically_blocked(i, c):
+                continue
+            sat, pred, core = self._relative_query(i, c)
+            if sat:
+                assert pred is not None
+                heapq.heappush(queue, (i - 1, next(tie), pred))
+                heapq.heappush(queue, (i, next(tie), c))
+                continue
+            assert core is not None
+            d = self._generalize(c, core)
+            j = self._push_forward(i, d)
+            self._add_blocking_clause(j, d)
+            if j < len(self._frames) - 1:
+                heapq.heappush(queue, (j + 1, next(tie), c))
+        return True
+
+    # ------------------------------------------------------------------
+    # propagation and convergence
+    # ------------------------------------------------------------------
+    def _propagate_clauses(self) -> int | None:
+        """Push clauses forward; returns a converged frame index or None.
+
+        A clause ``¬d`` of frame ``i`` moves to ``i+1`` when
+        ``F_i ∧ R ∧ d'`` is unsatisfiable (``F_i`` already contains
+        ``¬d``, so no explicit left-side cube is needed).  An emptied
+        delta means ``F_i = F_{i+1}``: together with the frame invariant
+        ``F_i ∧ R ⟹ F_{i+1}'`` that makes ``F_i`` inductive.
+        """
+        solver = self._solver
+        top = len(self._frames) - 1
+        for i in range(1, top):
+            for d in list(self._frames[i]):
+                assumptions = list(self._frame_assumptions(i))
+                for name, value in d:
+                    assumptions.append(
+                        solver.literal(eq(self._vars[name].prime(), value))
+                    )
+                if not self._check(assumptions):
+                    self._frames[i].remove(d)
+                    if self._add_blocking_clause(i + 1, d):
+                        self.stats.clauses_added -= 1  # moved, not new
+                    self.stats.clauses_propagated += 1
+        for i in range(1, top):
+            if not self._frames[i]:
+                return i
+        return None
+
+    def _record_invariant(self, frame: int) -> None:
+        self._converged_frame = frame
+        for j in range(frame, len(self._frames)):
+            for d in self._frames[j]:
+                if d not in self._invariant_seen:
+                    self._invariant_seen.add(d)
+                    self._invariant_cubes.append(d)
+
+    def _invariant_refutation(self, cube: Cube) -> Cube | None:
+        """A globally-invariant clause refuting ``cube``, if one exists."""
+        values = dict(cube)
+        for d in self._invariant_cubes:
+            if all(values.get(name) == value for name, value in d):
+                return d
+        return None
+
+    def invariant(self) -> Expr | None:
+        """The strongest inductive invariant proved so far (or None).
+
+        Available once any query converged; the conjunction of every
+        clause that ever belonged to a converged frame.  Satisfies
+        ``Init ⟹ INV`` and ``INV ∧ R ⟹ INV'`` and refutes every state
+        proved unreachable.
+        """
+        if self._converged_frame is None:
+            return None
+        return land(*(self.clause_expr(d) for d in self._invariant_cubes))
+
+    # ------------------------------------------------------------------
+    # the public query
+    # ------------------------------------------------------------------
+    def prove_unreachable(self, state: Mapping[str, int]) -> Ic3Result:
+        """Decide reachability of ``state``'s state-variable projection.
+
+        ``state`` may be a full observation (inputs are ignored: an
+        observation is reachable iff its state part is, because inputs
+        are free).  Always returns a definite answer.
+        """
+        cube = self.cube_of(state)
+        self.stats.queries += 1
+        checks_before = self.stats.solver_checks
+        if self._init_satisfies(cube):
+            return Ic3Result(reachable=True)
+        refuting = self._invariant_refutation(cube)
+        if refuting is not None:
+            self.stats.invariant_hits += 1
+            return Ic3Result(
+                reachable=False,
+                refuting_cube=refuting,
+                invariant_frame=self._converged_frame,
+                from_cache=True,
+            )
+        if len(self._frames) == 1:
+            self._new_frame()
+        while True:
+            top = len(self._frames) - 1
+            while self._cube_sat_at(top, cube):
+                if not self._block(top, cube):
+                    return Ic3Result(
+                        reachable=True,
+                        solver_checks=self.stats.solver_checks - checks_before,
+                    )
+            self._new_frame()
+            converged = self._propagate_clauses()
+            if converged is not None:
+                self._record_invariant(converged)
+                refuting = self._invariant_refutation(cube)
+                assert refuting is not None, (
+                    "converged invariant must refute the blocked cube"
+                )
+                return Ic3Result(
+                    reachable=False,
+                    refuting_cube=refuting,
+                    invariant_frame=converged,
+                    solver_checks=self.stats.solver_checks - checks_before,
+                )
+
+
+class Ic3Spuriousness:
+    """Fig. 3b verdicts from unbounded IC3 proofs (the ``"ic3"`` engine).
+
+    Unlike the literal k-induction check this classifier never returns
+    INCONCLUSIVE and ignores the Fig. 3b bound entirely: a
+    counterexample state is either proved reachable (VALID, by a
+    concrete predecessor chain) or proved unreachable (SPURIOUS, by an
+    inductive invariant).  After a SPURIOUS verdict,
+    :meth:`spurious_exclusion` exposes the generalized blocking clause
+    -- the unsat-core-driven subcube region the proof excluded -- which
+    the completeness oracle can conjoin onto the assumption to rule out
+    *every* state of the region in one strengthening round instead of
+    the paper's one-state-at-a-time ``r ∧ ¬s'``.
+    """
+
+    def __init__(
+        self,
+        system: SymbolicSystem,
+        engine: Ic3Engine | None = None,
+        input_space: str = "samples",
+    ):
+        self._system = system
+        self._engine = engine or Ic3Engine(system, input_space=input_space)
+        self._last_exclusion: Expr | None = None
+
+    @property
+    def engine(self) -> Ic3Engine:
+        return self._engine
+
+    @property
+    def proved_invariant(self) -> Expr | None:
+        """Inductive invariant accumulated by the proofs so far."""
+        return self._engine.invariant()
+
+    def classify(self, v_t: Valuation, k: int) -> SpuriousVerdict:
+        """SPURIOUS or VALID -- never INCONCLUSIVE; ``k`` is ignored."""
+        result = self._engine.prove_unreachable(v_t)
+        if result.reachable:
+            self._last_exclusion = None
+            return SpuriousVerdict.VALID
+        assert result.refuting_cube is not None
+        self._last_exclusion = self._engine.clause_expr(result.refuting_cube)
+        return SpuriousVerdict.SPURIOUS
+
+    def spurious_exclusion(self) -> Expr | None:
+        """Blocking clause behind the last SPURIOUS verdict (else None).
+
+        The clause holds on every reachable state (it belongs to an
+        inductive invariant) and is falsified by the classified state,
+        so ``assumption ∧ clause`` is a sound, strictly-more-effective
+        strengthening than excluding the single state.
+        """
+        return self._last_exclusion
+
+
+def shared_ic3(system: SymbolicSystem, input_space: str = "samples") -> Ic3Engine:
+    """Per-system IC3 engine memo (same pattern as ``shared_reachability``).
+
+    Frames and the converged invariant strengthen monotonically across
+    queries, so every oracle/checker built over one system instance
+    should share a single engine; the
+    :func:`~repro.system.transition_system.shared_analysis` memo gives
+    the cache exactly the system's lifetime.  The two input-space
+    semantics are cached independently (their frames are not
+    interchangeable).
+    """
+    attr = (
+        "_shared_ic3_engine"
+        if input_space == "samples"
+        else "_shared_ic3_engine_free"
+    )
+    return shared_analysis(
+        system, attr, lambda s: Ic3Engine(s, input_space=input_space)
+    )

@@ -25,7 +25,7 @@ removes the dominant re-encoding cost.
 from __future__ import annotations
 
 from ..expr.ast import Expr, lnot
-from ..system.transition_system import SymbolicSystem
+from ..system.transition_system import SymbolicSystem, shared_analysis
 from .bmc import BoundedModelChecker, IncrementalUnroller, observation_at
 from .verdicts import InductionOutcome, KInductionResult
 
@@ -72,6 +72,20 @@ class KInductionEngine:
         if self.step_case_holds(safe, k):
             return KInductionResult(InductionOutcome.PROVED)
         return KInductionResult(InductionOutcome.STEP_VIOLATED)
+
+
+def shared_kinduction(system: SymbolicSystem) -> KInductionEngine:
+    """Per-system k-induction engine memo (cf. ``shared_reachability``).
+
+    Both unrollings (and the SAT core's learned clauses) are expensive
+    to rebuild, yet every :func:`~repro.mc.spurious.build_spurious_checker`
+    call used to construct fresh ones; the
+    :func:`~repro.system.transition_system.shared_analysis` memo ties
+    one engine to the system's own lifetime.
+    """
+    return shared_analysis(
+        system, "_shared_kinduction_engine", KInductionEngine
+    )
 
 
 def step_case_holds(system: SymbolicSystem, safe: Expr, k: int) -> bool:

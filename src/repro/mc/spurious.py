@@ -22,6 +22,12 @@ Two engines implement this interface:
     reachable within ``k`` → valid, reachable only beyond ``k`` →
     inconclusive, unreachable → spurious.  With ``respect_k=False`` it is
     a strictly stronger oracle that never returns inconclusive.
+
+Two more engines live in their own modules and register here by name:
+:class:`~repro.mc.symbolic.SymbolicSpuriousness` (``"bdd"``, exact BDD
+fixpoint) and :class:`~repro.mc.ic3.Ic3Spuriousness` (``"ic3"``,
+unbounded IC3/PDR proofs -- never inconclusive, no ``k`` to choose, and
+verdicts agree with ``"explicit"`` under ``respect_k=False``).
 """
 
 from __future__ import annotations
@@ -68,10 +74,15 @@ class KInductionSpuriousness:
     only the tiny pinned-state assertions change per query.
     """
 
-    def __init__(self, system: SymbolicSystem, state_only: bool = True):
+    def __init__(
+        self,
+        system: SymbolicSystem,
+        state_only: bool = True,
+        engine: KInductionEngine | None = None,
+    ):
         self._system = system
         self._state_only = state_only
-        self._engine = KInductionEngine(system)
+        self._engine = engine or KInductionEngine(system)
 
     def classify(self, v_t: Valuation, k: int) -> SpuriousVerdict:
         bad = state_equality_formula(self._system, v_t, self._state_only)
@@ -85,7 +96,8 @@ class KInductionSpuriousness:
 
 #: Engine names accepted by :func:`build_spurious_checker` (and therefore
 #: by every oracle/learner constructor that takes a ``spurious_engine``).
-SPURIOUS_ENGINES = ("explicit", "bdd", "kinduction", "none")
+#: See ``docs/engines.md`` for when each wins.
+SPURIOUS_ENGINES = ("explicit", "bdd", "kinduction", "ic3", "none")
 
 
 def build_spurious_checker(
@@ -99,9 +111,11 @@ def build_spurious_checker(
     The name-based factory is what lets oracle configurations travel as
     picklable specs (worker processes rebuild their own checker from the
     name rather than receiving a live object; see
-    :mod:`repro.core.parallel`).  ``"explicit"`` reuses the per-system
-    shared reachability table, so repeated construction over one system
-    instance stays cheap.
+    :mod:`repro.core.parallel`).  Every stateful engine is shared
+    per-system (``shared_reachability`` / ``shared_kinduction`` /
+    ``shared_ic3`` / ``shared_symbolic_reachability``), so repeated
+    construction over one system instance reuses the explored tables,
+    unrollings, frames and learned clauses instead of rebuilding them.
     """
     if engine == "explicit":
         from .explicit import shared_reachability
@@ -114,7 +128,15 @@ def build_spurious_checker(
 
         return SymbolicSpuriousness(system, respect_k=respect_k)
     if engine == "kinduction":
-        return KInductionSpuriousness(system, state_only=state_only)
+        from .kinduction import shared_kinduction
+
+        return KInductionSpuriousness(
+            system, state_only=state_only, engine=shared_kinduction(system)
+        )
+    if engine == "ic3":
+        from .ic3 import Ic3Spuriousness, shared_ic3
+
+        return Ic3Spuriousness(system, engine=shared_ic3(system))
     if engine == "none":
         return None
     raise ValueError(unknown_engine_message(engine))

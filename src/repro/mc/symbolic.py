@@ -22,6 +22,14 @@ bit-blaster (:mod:`repro.smt.bitvec`): those functions are generic over
 a gate-builder interface, and :class:`BddGateBuilder` implements it over
 BDD nodes.  One implementation of ripple-carry addition, signed
 comparison etc. therefore serves both engines.
+
+Caching mirrors the SAT side's clause reuse: every engine instance over
+one system shares a :class:`SharedBddContext` (compiled transition
+relation plus per-frontier image memo, see :func:`shared_bdd_context`),
+exploration is lazy (queries peel only the onion layers they need), and
+variable orderings are registered per observable *signature* so
+same-shaped systems agree on their bit layout
+(:func:`observable_signature`).
 """
 
 from __future__ import annotations
@@ -62,7 +70,7 @@ from ..smt.bitvec import (
     sub_bitvec,
     width_for_range,
 )
-from ..system.transition_system import SymbolicSystem
+from ..system.transition_system import SymbolicSystem, shared_analysis
 from ..system.valuation import Valuation
 from .verdicts import SpuriousVerdict
 
@@ -130,13 +138,61 @@ class _VarBits:
         return len(self.current)
 
 
+def observable_signature(system: SymbolicSystem) -> tuple:
+    """Hashable shape of a system's observables (names, sorts, roles).
+
+    Two systems with the same signature get the same BDD variable
+    ordering from the registry below, regardless of their transition
+    relations -- orderings (and therefore shapes of characteristic
+    BDDs) transfer across systems the way learned clauses transfer
+    across queries on the SAT side.
+    """
+
+    def one(var: Var, is_state: bool) -> tuple:
+        lo, hi = _sort_range(var)
+        return (var.name, type(var.sort).__name__, lo, hi, is_state)
+
+    return tuple(
+        [one(v, True) for v in system.state_vars]
+        + [one(v, False) for v in system.input_vars]
+    )
+
+
+# Variable-ordering registry: observable signature -> computed layout.
+# Bounded (oldest-first eviction) so long-lived processes that stream
+# many distinct systems through cannot leak layouts.
+_ORDER_REGISTRY: dict[tuple, tuple[dict[str, _VarBits], int, int]] = {}
+_ORDER_REGISTRY_CAP = 256
+
+
 class BddCompiler:
-    """Compiles expressions over a system's observables into BDDs."""
+    """Compiles expressions over a system's observables into BDDs.
+
+    The bit layout (interleaved current/next state bits, inputs last)
+    comes from the module's ordering registry keyed on the observable
+    signature, so same-shaped systems share one ordering decision.
+    """
 
     def __init__(self, system: SymbolicSystem):
         self.manager = BddManager()
         self.gates = BddGateBuilder(self.manager)
-        self._bits: dict[str, _VarBits] = {}
+        signature = observable_signature(system)
+        layout = _ORDER_REGISTRY.get(signature)
+        if layout is None:
+            layout = self._compute_layout(system)
+            _ORDER_REGISTRY[signature] = layout
+            while len(_ORDER_REGISTRY) > _ORDER_REGISTRY_CAP:
+                _ORDER_REGISTRY.pop(next(iter(_ORDER_REGISTRY)))
+        bits, state_bits_end, total_bits = layout
+        self._bits = dict(bits)
+        self._state_bits_end = state_bits_end
+        self.total_bits = total_bits
+
+    @staticmethod
+    def _compute_layout(
+        system: SymbolicSystem,
+    ) -> tuple[dict[str, _VarBits], int, int]:
+        bits: dict[str, _VarBits] = {}
         index = 0
         for var in system.state_vars:
             lo, hi = _sort_range(var)
@@ -144,16 +200,16 @@ class BddCompiler:
             current = [index + 2 * bit for bit in range(width)]
             nxt = [index + 2 * bit + 1 for bit in range(width)]
             index += 2 * width
-            self._bits[var.name] = _VarBits(current, nxt, lo, hi)
-        self._state_bits_end = index
+            bits[var.name] = _VarBits(current, nxt, lo, hi)
+        state_bits_end = index
         for var in system.input_vars:
             lo, hi = _sort_range(var)
             width = _width_for(var, lo, hi)
-            self._bits[var.name] = _VarBits(
+            bits[var.name] = _VarBits(
                 [index + bit for bit in range(width)], None, lo, hi
             )
             index += width
-        self.total_bits = index
+        return bits, state_bits_end, index
 
     # ------------------------------------------------------------------
     @property
@@ -351,39 +407,104 @@ def _width_for(var: Var, lo: int, hi: int) -> int:
     return width_for_range(lo, hi)
 
 
-class SymbolicReachability:
-    """Fixpoint reachability with per-depth onion layers."""
+class SharedBddContext:
+    """Per-system BDD state shared by every reachability engine over it.
+
+    Owns the compiler/manager, the compiled transition relation and a
+    per-step **image cache** keyed on the frontier BDD's node id: the
+    relational product ``∃ current, inputs: R ∧ frontier`` (renamed back
+    to current bits) is computed once per distinct frontier and replayed
+    for free afterwards.  A second engine instance -- or a re-exploration
+    after the first -- walks the whole onion at dictionary-lookup cost,
+    mirroring how the SAT engines replay learned clauses.
+    """
 
     def __init__(self, system: SymbolicSystem):
         self._system = system
-        self._compiler = BddCompiler(system)
-        self._manager = self._compiler.manager
-        self._layers: list[int] | None = None
-        self._reached: int | None = None
+        self.compiler = BddCompiler(system)
+        self.manager = self.compiler.manager
+        self._trans: int | None = None
+        self._image_cache: dict[int, int] = {}
+        self.image_computations = 0
+        self.image_hits = 0
+
+    def trans_bdd(self) -> int:
+        if self._trans is None:
+            self._trans = self.manager.apply_and(
+                self.compiler.compile_bool(self._system.trans),
+                self.compiler.domain_bdd(),
+            )
+        return self._trans
+
+    def image(self, frontier: int) -> int:
+        """Post-image of ``frontier`` over current bits (memoised)."""
+        cached = self._image_cache.get(frontier)
+        if cached is not None:
+            self.image_hits += 1
+            return cached
+        compiler, manager = self.compiler, self.manager
+        image_next = manager.and_exists(
+            self.trans_bdd(), frontier, compiler.current_and_input_indices
+        )
+        image = manager.rename(image_next, compiler.rename_next_to_current)
+        self._image_cache[frontier] = image
+        self.image_computations += 1
+        return image
+
+
+def shared_bdd_context(system: SymbolicSystem) -> SharedBddContext:
+    """Per-system :class:`SharedBddContext` memo (cf. ``shared_reachability``)."""
+    return shared_analysis(system, "_shared_bdd_context", SharedBddContext)
+
+
+class SymbolicReachability:
+    """Fixpoint reachability with per-depth onion layers.
+
+    Exploration is *lazy*: :meth:`reachable_depth` peels only as many
+    onion layers as the query needs (a depth-2 state never forces the
+    full fixpoint), while :attr:`reached_bdd` / :attr:`diameter` /
+    :meth:`num_reachable_states` drive it to completion.  All image
+    steps go through the system's :class:`SharedBddContext`, so layers
+    computed by any engine instance are reused by every other.
+    """
+
+    def __init__(
+        self, system: SymbolicSystem, context: SharedBddContext | None = None
+    ):
+        self._system = system
+        self._ctx = context or shared_bdd_context(system)
+        self._compiler = self._ctx.compiler
+        self._manager = self._ctx.manager
+        self._layers: list[int] = []
+        self._partial: int | None = None  # union of layers so far
+        self._reached: int | None = None  # set once the fixpoint closed
 
     # ------------------------------------------------------------------
-    def explore(self) -> None:
-        if self._reached is not None:
-            return
-        compiler, manager = self._compiler, self._manager
-        trans = manager.apply_and(
-            compiler.compile_bool(self._system.trans), compiler.domain_bdd()
-        )
-        quantified = compiler.current_and_input_indices
-        rename = compiler.rename_next_to_current
+    def _start(self) -> None:
+        if not self._layers:
+            init = self._compiler.state_bdd(self._system.init_state)
+            self._layers = [init]
+            self._partial = init
 
-        current = compiler.state_bdd(self._system.init_state)
-        reached = current
-        layers = [current]
-        while current != manager.FALSE:
-            image_next = manager.and_exists(trans, current, quantified)
-            image = manager.rename(image_next, rename)
-            fresh = manager.apply_and(image, manager.apply_not(reached))
-            layers.append(fresh)
-            reached = manager.apply_or(reached, image)
-            current = fresh
-        self._layers = layers[:-1]  # last layer is empty
-        self._reached = reached
+    def _expand_one(self) -> bool:
+        """Peel one more onion layer; False once the fixpoint closed."""
+        if self._reached is not None:
+            return False
+        self._start()
+        manager = self._manager
+        image = self._ctx.image(self._layers[-1])
+        fresh = manager.apply_and(image, manager.apply_not(self._partial))
+        self._partial = manager.apply_or(self._partial, image)
+        if fresh == manager.FALSE:
+            self._reached = self._partial
+            return False
+        self._layers.append(fresh)
+        return True
+
+    def explore(self) -> None:
+        """Run the fixpoint to completion (idempotent)."""
+        while self._expand_one():
+            pass
 
     # ------------------------------------------------------------------
     @property
@@ -397,17 +518,23 @@ class SymbolicReachability:
         return len(self._layers) - 1
 
     def is_state_reachable(self, state) -> bool:
-        self.explore()
-        return self._manager.evaluate(
-            self._reached, self._compiler.assignment_for(state)
-        )
+        return self.reachable_depth(state) is not None
 
     def reachable_depth(self, state) -> int | None:
-        """BFS depth of the state (None if unreachable)."""
-        self.explore()
+        """BFS depth of the state (None if unreachable).
+
+        Scans the layers already peeled first, then extends the
+        fixpoint only as far as the answer requires.
+        """
+        self._start()
         assignment = self._compiler.assignment_for(state)
         for depth, layer in enumerate(self._layers):
             if self._manager.evaluate(layer, assignment):
+                return depth
+        depth = len(self._layers) - 1
+        while self._expand_one():
+            depth += 1
+            if self._manager.evaluate(self._layers[-1], assignment):
                 return depth
         return None
 
@@ -426,11 +553,28 @@ class SymbolicReachability:
         return total >> (self._compiler.total_bits - state_bits)
 
 
+def shared_symbolic_reachability(system: SymbolicSystem) -> SymbolicReachability:
+    """Per-system symbolic engine memo (cf. ``shared_reachability``).
+
+    On top of the shared context (which already makes fresh instances
+    cheap), sharing the engine itself also reuses the peeled layer list
+    across every consumer of one system instance.
+    """
+    return shared_analysis(
+        system, "_shared_symbolic_engine", SymbolicReachability
+    )
+
+
 class SymbolicSpuriousness:
     """Fig. 3b verdicts from the BDD engine (third implementation)."""
 
-    def __init__(self, system: SymbolicSystem, respect_k: bool = True):
-        self._reach = SymbolicReachability(system)
+    def __init__(
+        self,
+        system: SymbolicSystem,
+        respect_k: bool = True,
+        reach: SymbolicReachability | None = None,
+    ):
+        self._reach = reach or shared_symbolic_reachability(system)
         self._respect_k = respect_k
 
     @property

@@ -19,7 +19,11 @@ many queries while learned clauses, watch lists, saved phases and VSIDS
 activity survive between calls.  ``add_clause`` may be called between
 solves, and clauses can be registered under *retractable groups*
 (activation literals) so a whole block of constraints can be switched
-off permanently with :meth:`Solver.retract_group`.
+off permanently with :meth:`Solver.retract_group`.  An UNSAT answer
+under assumptions additionally reports the subset of assumptions that
+was actually used (:attr:`SolveResult.unsat_core`, via MiniSat-style
+final-conflict analysis) -- the primitive behind IC3 cube
+generalization and the oracle's proof-driven assumption strengthening.
 
 Because instances now live for entire active-learning *runs* (learner
 sessions and the incremental condition checkers keep one solver hot
@@ -77,13 +81,22 @@ class _LearnedClause(list):
 
 @dataclass
 class SolveResult:
-    """Outcome of a solver run."""
+    """Outcome of a solver run.
+
+    ``unsat_core`` is ``None`` on satisfiable results.  On UNSAT results
+    it is the subset of the *caller's* assumption literals actually used
+    to derive the contradiction (MiniSat's final-conflict analysis), in
+    the order they were passed; solving again under just the core stays
+    UNSAT.  An empty tuple means the formula itself (together with any
+    active clause groups) is contradictory and no assumption was needed.
+    """
 
     satisfiable: bool
     model: dict[int, bool] = field(default_factory=dict)
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    unsat_core: tuple[int, ...] | None = None
 
     def value(self, var: int) -> bool:
         return self.model[var]
@@ -462,6 +475,51 @@ class Solver:
         self.rescale_var_activity()
 
     # ------------------------------------------------------------------
+    # final-conflict analysis (unsat cores under assumptions)
+    # ------------------------------------------------------------------
+    def _final_core(
+        self, failed_lit: int, assumptions: Sequence[int]
+    ) -> tuple[int, ...]:
+        """MiniSat's ``analyzeFinal``: assumptions implying ``¬failed_lit``.
+
+        Called while the trail still holds the propagations that
+        falsified the pending assumption ``failed_lit``.  Walks the
+        implication graph backwards from the falsifying literal,
+        collecting every assumption *decision* met on the way (in the
+        assumption phase every decision is an assumption literal,
+        enqueued exactly as passed).  The result is filtered to the
+        caller's assumptions -- group activation literals stay internal
+        -- and ordered as the caller passed them, so cores are
+        deterministic for a given solver state.
+        """
+        core = {failed_lit}
+        var0 = abs(failed_lit)
+        # Falsified at level 0 means the formula alone implies the
+        # negation: the core is the failed assumption by itself.
+        if self._level[var0] > 0 and self._trail_lim:
+            seen = {var0}
+            bound = self._trail_lim[0]
+            for lit in reversed(self._trail[bound:]):
+                var = abs(lit)
+                if var not in seen:
+                    continue
+                seen.discard(var)
+                reason = self._reason[var]
+                if reason is None:
+                    core.add(lit)
+                else:
+                    for q in reason:
+                        if abs(q) != var and self._level[abs(q)] > 0:
+                            seen.add(abs(q))
+        ordered: list[int] = []
+        picked: set[int] = set()
+        for lit in assumptions:
+            if lit in core and lit not in picked:
+                ordered.append(lit)
+                picked.add(lit)
+        return tuple(ordered)
+
+    # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
     def _pick_branch_var(self) -> int:
@@ -495,11 +553,11 @@ class Solver:
             if abs(lit) > self._num_vars:
                 self.ensure_vars(abs(lit))
         if not self._ok:
-            return self._result(False)
+            return self._result(False, unsat_core=())
         self._backtrack(0)
         if self._propagate() is not None:
             self._ok = False
-            return self._result(False)
+            return self._result(False, unsat_core=())
         restart_count = 0
         conflicts_since_restart = 0
         restart_budget = 64 * luby(1)
@@ -510,7 +568,7 @@ class Solver:
                 conflicts_since_restart += 1
                 if not self._trail_lim:
                     self._ok = False
-                    return self._result(False)
+                    return self._result(False, unsat_core=())
                 learned, back_level = self._analyze(conflict)
                 # LBD must be read off the pre-backtrack levels.
                 lbd = len({
@@ -540,8 +598,11 @@ class Solver:
                     self._trail_lim.append(len(self._trail))
                 elif value == _FALSE:
                     # Assumptions conflict with the formula (or each
-                    # other): UNSAT *under assumptions* only.
-                    result = self._result(False)
+                    # other): UNSAT *under assumptions* only.  The final
+                    # conflict is analyzed before backtracking (the core
+                    # walk needs the falsifying trail intact).
+                    core = self._final_core(next_assumed, assumptions)
+                    result = self._result(False, unsat_core=core)
                     self._backtrack(0)
                     return result
                 else:
@@ -558,7 +619,11 @@ class Solver:
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
 
-    def _result(self, satisfiable: bool) -> SolveResult:
+    def _result(
+        self,
+        satisfiable: bool,
+        unsat_core: tuple[int, ...] | None = None,
+    ) -> SolveResult:
         model = {}
         if satisfiable:
             model = {
@@ -570,6 +635,7 @@ class Solver:
             conflicts=self.conflicts,
             decisions=self.decisions,
             propagations=self.propagations,
+            unsat_core=unsat_core,
         )
 
 

@@ -240,6 +240,30 @@ class SymbolicSystem:
         return total
 
 
+def shared_analysis(
+    system: SymbolicSystem, attr: str, factory: Callable[[SymbolicSystem], object]
+) -> object:
+    """Per-system memo for analysis engines, keyed by object identity.
+
+    The engine is stored on the system instance itself rather than in a
+    module-level ``id()``-keyed dict: ids are recycled after garbage
+    collection, so a global table could hand a fresh system a dead
+    system's engine, and it would grow without bound.  The attribute
+    gives WeakValueDictionary-style lifetime (the cache entry dies
+    exactly when the system does) with exact identity semantics; the
+    ``engine._system is system`` guard detects copied instances that
+    inherited the attribute via ``__dict__`` duplication and gives them
+    their own engine.  Used by ``shared_reachability``,
+    ``shared_kinduction``, ``shared_ic3``, ``shared_bdd_context`` and
+    ``shared_symbolic_reachability``.
+    """
+    engine = getattr(system, attr, None)
+    if engine is None or getattr(engine, "_system", None) is not system:
+        engine = factory(system)
+        setattr(system, attr, engine)
+    return engine
+
+
 def make_system(
     name: str,
     state_vars: Iterable[Var],

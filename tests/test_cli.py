@@ -24,6 +24,16 @@ class TestParser:
         assert args.benchmarks == ["CountEvents"]
         assert args.budget == 5.0
 
+    def test_engine_choices(self):
+        args = build_parser().parse_args(["run", "CountEvents"])
+        assert args.engine == "explicit"
+        for command in (["run", "CountEvents"], ["baseline", "CountEvents"],
+                        ["table1", "CountEvents"]):
+            args = build_parser().parse_args(command + ["--engine", "ic3"])
+            assert args.engine == "ic3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "CountEvents", "--engine", "pdr"])
+
 
 class TestCommands:
     def test_list_output(self, capsys):
@@ -63,6 +73,15 @@ class TestCommands:
         )
         assert code == 0
         assert "WithoutSuperStep" in capsys.readouterr().out
+
+    def test_run_with_ic3_engine_reports_invariant(self, capsys):
+        code = main(
+            ["run", "ModelingALaunchAbortSystem", "--engine", "ic3",
+             "--traces", "8", "--length", "8", "--budget", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IC3 proved inductive invariant" in out
 
     def test_baseline_command(self, capsys):
         code = main(

@@ -1,0 +1,223 @@
+"""Unsat-core extraction: ``Solver.solve(assumptions)`` final-conflict
+analysis and the :class:`SmtSolver` mapping back to expressions.
+
+The contract under test (see ``SolveResult.unsat_core``):
+
+* SAT results carry no core;
+* UNSAT-under-assumptions results carry a subset of the *caller's*
+  assumption literals, in caller order, and solving under just the core
+  stays UNSAT;
+* a contradictory formula (no assumptions needed) yields an empty core;
+* group activation literals never leak into cores;
+* cores survive session hygiene -- ``maintain()`` and forced
+  learned-clause reduction on long-lived solvers.
+"""
+
+import pytest
+
+from repro.expr import FALSE, Var, int_sort, land, lnot
+from repro.sat.solver import Solver
+from repro.smt.solver import SmtSolver
+
+
+def _fresh_vars(solver: Solver, count: int) -> list[int]:
+    return [solver.new_var() for _ in range(count)]
+
+
+class TestSolverCores:
+    def test_sat_has_no_core(self):
+        solver = Solver()
+        _fresh_vars(solver, 2)
+        result = solver.solve([1, 2])
+        assert result.satisfiable
+        assert result.unsat_core is None
+
+    def test_core_is_subset_in_caller_order(self):
+        solver = Solver()
+        _fresh_vars(solver, 4)
+        solver.add_clause([-1, -2])  # x1 -> not x2
+        result = solver.solve([3, 1, 2, 4])
+        assert not result.satisfiable
+        assert result.unsat_core == (1, 2)
+
+    def test_core_only_resolve_stays_unsat(self):
+        solver = Solver()
+        _fresh_vars(solver, 5)
+        solver.add_clause([-1, -2, -3])
+        result = solver.solve([5, 1, 2, 3, 4])
+        assert not result.satisfiable
+        core = result.unsat_core
+        assert core is not None and set(core) <= {1, 2, 3}
+        again = solver.solve(list(core))
+        assert not again.satisfiable
+        assert again.unsat_core == core
+        # The solver stays usable for SAT queries afterwards.
+        assert solver.solve([1, 2]).satisfiable
+
+    def test_unit_implied_assumption(self):
+        solver = Solver()
+        _fresh_vars(solver, 2)
+        solver.add_clause([-2])
+        result = solver.solve([2])
+        assert not result.satisfiable
+        assert result.unsat_core == (2,)
+
+    def test_contradictory_assumptions(self):
+        solver = Solver()
+        _fresh_vars(solver, 1)
+        result = solver.solve([1, -1])
+        assert not result.satisfiable
+        assert result.unsat_core == (1, -1)
+
+    def test_formula_unsat_gives_empty_core(self):
+        solver = Solver()
+        _fresh_vars(solver, 1)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        result = solver.solve([1])
+        assert not result.satisfiable
+        assert result.unsat_core == ()
+
+    def test_group_activation_literals_stay_internal(self):
+        solver = Solver()
+        _fresh_vars(solver, 2)
+        group = solver.new_group()
+        solver.add_clause([-1], group=group)
+        result = solver.solve([1, 2])
+        assert not result.satisfiable
+        # The group clause did the refuting, but the reported core names
+        # only the caller's assumption.
+        assert result.unsat_core == (1,)
+        # Retracting the group removes the contradiction entirely.
+        solver.retract_group(group)
+        assert solver.solve([1, 2]).satisfiable
+
+    def test_core_from_propagation_chain(self):
+        """The core walk follows reason clauses, not just decisions."""
+        solver = Solver()
+        _fresh_vars(solver, 6)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, -4])
+        result = solver.solve([5, 1, 4, 6])
+        assert not result.satisfiable
+        assert result.unsat_core == (1, 4)
+        assert not solver.solve([1, 4]).satisfiable
+
+
+class TestCoresOnSessionSolvers:
+    def _busy_solver(self) -> Solver:
+        """A solver with enough structure to learn clauses.
+
+        Pigeonhole-ish constraints over a few variables force real
+        conflict analysis, populating the learned-clause database the
+        way a long-lived session solver's gets populated.
+        """
+        solver = Solver()
+        _fresh_vars(solver, 16)
+        # 5 pigeons, 3 holes (vars 1..15, pigeon p hole h -> 3p+h+1).
+        def lit(p, h):
+            return 3 * p + h + 1
+        for p in range(5):
+            solver.add_clause([lit(p, h) for h in range(3)])
+        for h in range(3):
+            for p1 in range(5):
+                for p2 in range(p1 + 1, 5):
+                    solver.add_clause([-lit(p1, h), -lit(p2, h)])
+        return solver
+
+    def test_core_survives_maintain_and_reduction(self):
+        solver = self._busy_solver()
+        result = solver.solve()
+        assert not result.satisfiable  # pigeonhole is UNSAT outright
+        assert result.unsat_core == ()
+
+        # A satisfiable relaxation with an assumption-driven conflict.
+        session = Solver()
+        _fresh_vars(session, 16)
+        session.add_clause([-16, -1])
+        # Exercise the search across several queries so clauses learn.
+        for flip in (1, -1):
+            for v in range(2, 10):
+                session.solve([flip * v])
+        before = session.solve([16, 1])
+        assert not before.satisfiable
+        assert before.unsat_core == (16, 1)
+        assert session.num_learned >= 0  # session has been exercised
+
+        session.maintain()
+        session._reduce_learned(force=True)
+        after = session.solve([16, 1])
+        assert not after.satisfiable
+        assert after.unsat_core == (16, 1)
+        # And the core-only query still refutes after hygiene.
+        assert not session.solve([16, 1]).satisfiable
+
+
+class TestSmtSolverCores:
+    def test_scoped_assertions_decode_to_exprs(self):
+        x = Var("x", int_sort(0, 7))
+        solver = SmtSolver()
+        solver.add(x >= 3)  # permanent: never part of a core
+        solver.push()
+        solver.add(x <= 1)
+        solver.add(x <= 6)  # irrelevant to the contradiction
+        assert not solver.check()
+        core = solver.unsat_core_exprs()
+        assert (x <= 1) in core
+        assert (x >= 3) not in core
+        solver.pop()
+        assert solver.check()
+        with pytest.raises(RuntimeError):
+            solver.unsat_core_exprs()
+
+    def test_guard_literals_appear_in_core(self):
+        x = Var("x", int_sort(0, 7))
+        solver = SmtSolver()
+        low = solver.literal(x <= 2)
+        high = solver.literal(x >= 5)
+        mid = solver.literal(x <= 6)
+        assert not solver.check(assuming=[mid, low, high])
+        assert solver.unsat_core is not None
+        core = set(solver.unsat_core)
+        assert {low, high} <= core
+        assert mid not in core
+        assert set(solver.unsat_core_exprs()) == {x <= 2, x >= 5}
+        # Re-checking under just the core stays UNSAT.
+        assert not solver.check(assuming=list(core))
+
+    def test_trivially_false_scope_reports_the_conjunct(self):
+        x = Var("x", int_sort(0, 7))
+        solver = SmtSolver()
+        solver.push()
+        solver.add(land(x <= 3, FALSE))
+        assert not solver.check()
+        assert solver.unsat_core == ()
+        assert solver.unsat_core_exprs() == (land(x <= 3, FALSE),)
+        solver.pop()
+
+    def test_core_is_reusable_across_scopes(self):
+        """Scoped core conjuncts keep their literals across re-asserts."""
+        x = Var("x", int_sort(0, 7))
+        solver = SmtSolver()
+        solver.add(x >= 4)
+        for _ in range(3):
+            solver.push()
+            solver.add(x <= 3)
+            assert not solver.check()
+            assert solver.unsat_core_exprs() == ((x <= 3),)
+            solver.pop()
+            assert solver.check()
+
+    def test_negated_conjunct_core(self):
+        a = Var("a", int_sort(0, 3))
+        b = Var("b", int_sort(0, 3))
+        solver = SmtSolver()
+        solver.add(a.eq(b))
+        solver.push()
+        solver.add(a.eq(2))
+        solver.add(lnot(b.eq(2)))
+        assert not solver.check()
+        core = set(solver.unsat_core_exprs())
+        assert core == {a.eq(2), lnot(b.eq(2))}
+        solver.pop()
