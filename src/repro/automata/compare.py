@@ -66,7 +66,8 @@ def transition_match_score(
 
 def nfa_isomorphic(a: SymbolicNFA, b: SymbolicNFA) -> bool:
     """Structural isomorphism: a state bijection preserving initial
-    states and guard-labelled transitions (guards compared structurally).
+    states and guard-labelled transitions (guards are interned, so the
+    structural comparison is object identity).
 
     State *names* are ignored -- two learners (or one learner fed the
     same traces in different orders) may number and label states

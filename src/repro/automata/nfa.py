@@ -11,7 +11,7 @@ States are integers; an optional name (typically the observed mode, e.g.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from ..expr.ast import Expr, free_vars

@@ -88,12 +88,14 @@ def extract_conditions(nfa: SymbolicNFA) -> list[Condition]:
             )
         )
     for state in nfa.states:
-        seen: list[Expr] = []
+        # P(j,in) is a *set* of predicates; guards are interned, so the
+        # dedup is an identity-set probe instead of a structural scan.
+        seen: set[Expr] = set()
         for transition in nfa.incoming(state):
             predicate = transition.guard
             if predicate in seen:
-                continue  # P(j,in) is a *set* of predicates
-            seen.append(predicate)
+                continue
+            seen.add(predicate)
             conditions.append(
                 Condition(
                     kind=ConditionKind.STEP,

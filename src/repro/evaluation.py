@@ -31,7 +31,6 @@ from .learn.t2m import T2MLearner
 from .mc.explicit import reachable_formula
 from .stateflow.benchmark import Benchmark, FsaSpec
 from .traces.generate import random_traces
-from .traces.trace import TraceSet
 
 
 def default_learner(benchmark: Benchmark, spec: FsaSpec) -> T2MLearner:

@@ -2,6 +2,10 @@
 
 Chart guards, transition relations ``R(X, X')``, learned edge predicates
 and model-checking queries are all values of this little language.
+
+The IR is **hash-consed**: constructors intern every node, equality and
+hashing are identity-based O(1) operations, and hot-path evaluation goes
+through :func:`compile_expr` (see ``docs/expr_core.md``).
 """
 
 from .ast import (
@@ -32,9 +36,11 @@ from .ast import (
     free_vars,
     ge,
     gt,
+    has_primed_vars,
     iff,
     implies,
     int_constants,
+    intern_table_size,
     interval,
     ite,
     land,
@@ -49,8 +55,10 @@ from .ast import (
     neg,
     sub,
     walk,
+    walk_unique,
 )
 from .eval import Env, EvalError, evaluate, holds
+from .compiled import compile_expr, compiled_size
 from .printer import guard_str, to_str
 from .sexpr import SexprError
 from .sexpr import dumps as sexpr_dumps
@@ -79,11 +87,12 @@ __all__ = [
     "Add", "And", "BOOL", "BoolSort", "Const", "Env", "EnumSort", "Eq",
     "EvalError", "Expr", "FALSE", "Iff", "Implies", "IntSort", "Ite", "Le",
     "Lt", "Mul", "Neg", "Not", "Or", "Sort", "Sub", "TRUE", "Var",
-    "add", "bool_const", "children", "coerce", "enum_const", "enum_sort",
-    "eq", "evaluate", "free_vars", "ge", "gt", "guard_str", "holds", "iff",
-    "implies", "int_constants", "int_sort", "interval", "is_trivially_false",
-    "is_trivially_true", "ite", "land", "le", "lnot", "lor", "lt", "maximum",
-    "minimum", "mul", "ne", "neg", "rename_step", "simplify", "sort_values",
-    "sub", "substitute", "substitute_values", "to_primed", "to_str",
-    "to_unprimed", "transform", "walk",
+    "add", "bool_const", "children", "coerce", "compile_expr",
+    "compiled_size", "enum_const", "enum_sort", "eq", "evaluate",
+    "free_vars", "ge", "gt", "guard_str", "has_primed_vars", "holds", "iff",
+    "implies", "int_constants", "int_sort", "intern_table_size", "interval",
+    "is_trivially_false", "is_trivially_true", "ite", "land", "le", "lnot",
+    "lor", "lt", "maximum", "minimum", "mul", "ne", "neg", "rename_step",
+    "simplify", "sort_values", "sub", "substitute", "substitute_values",
+    "to_primed", "to_str", "to_unprimed", "transform", "walk", "walk_unique",
 ]

@@ -1,34 +1,92 @@
-"""Expression AST.
+"""Expression AST (hash-consed).
 
-Expressions are immutable trees of frozen dataclasses.  Structural equality
-and hashing come from the dataclass machinery, which the rest of the code
-relies on (memoisation tables, deduplication of predicates, ...).  For this
-reason ``__eq__`` is *not* overloaded to build equality expressions; use
-:func:`eq` / :func:`ne` or the ``.eq()`` / ``.ne()`` methods instead.
-Arithmetic and ordering operators *are* overloaded, so chart guards read
-naturally, e.g. ``(temp > 30) & coil.eq(ON)``.
+Expressions are immutable, **interned** (hash-consed) nodes: every
+constructor -- the node classes themselves as well as the smart
+constructors (:func:`land`, :func:`lor`, :func:`lnot`, ...) -- returns
+the canonical shared instance for its structure, so two structurally
+equal expressions are always the *same object*.  Equality and hashing
+are therefore identity-based and O(1) (``object.__eq__`` /
+``object.__hash__`` are deliberately not overridden), which the rest of
+the code relies on: every ``dict``/``set`` keyed on expressions
+(memoisation tables, predicate deduplication, encoder caches, ...) is
+an identity table that behaves exactly like the old deep-structural one
+at pointer-comparison cost.  ``__eq__`` is *not* overloaded to build
+equality expressions; use :func:`eq` / :func:`ne` or the ``.eq()`` /
+``.ne()`` methods instead.  Arithmetic and ordering operators *are*
+overloaded, so chart guards read naturally, e.g.
+``(temp > 30) & coil.eq(ON)``.
 
-Smart constructors (:func:`land`, :func:`lor`, :func:`lnot`, ...) perform
-light normalisation -- flattening nested conjunctions, folding constants --
-so that predicates extracted from learned automata stay readable.
+Every interned node carries metadata computed once at intern time:
+
+* ``eid`` -- a small process-unique integer, stable for the node's
+  lifetime; caches that outlive an expression graph (SAT/BDD encoders)
+  key on it instead of on the node object;
+* ``sort`` -- the node's sort, as before;
+* its free-variable set (:func:`free_vars` is now O(1)) and whether any
+  free variable is primed (:func:`has_primed_vars`).
+
+Interning is pickle-safe: ``__reduce__`` rebuilds through the
+constructors, so unpickled expressions re-intern into the receiving
+process's table and identity semantics survive process boundaries (the
+sharded parallel oracle depends on this).  ``copy``/``deepcopy`` return
+the node itself for the same reason.  The intern table is append-only
+for the life of the process; see ``docs/expr_core.md`` for the
+lifecycle discussion.
+
+Smart constructors perform light normalisation -- flattening nested
+conjunctions, folding constants -- so that predicates extracted from
+learned automata stay readable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
 from typing import Iterable, Union
 
 from .types import BOOL, BoolSort, EnumSort, IntSort, Sort
 
 ExprLike = Union["Expr", int, bool]
 
+# The intern (hash-consing) table: structural key -> canonical node.
+# Composite keys reference children by eid, so a key is a flat tuple of
+# small ints/strings/sorts and never recurses into subtrees.
+_INTERN: dict[tuple, "Expr"] = {}
+_EIDS = itertools.count()
+_NO_VARS: frozenset = frozenset()
+
+
+def intern_table_size() -> int:
+    """Number of canonical expression nodes interned in this process."""
+    return len(_INTERN)
+
 
 class Expr:
-    """Base class for expression nodes."""
+    """Base class for expression nodes (interned; see module docstring)."""
 
-    __slots__ = ()
+    __slots__ = ("eid", "sort", "_free", "_has_primed")
 
-    sort: Sort  # every subclass carries a sort
+    eid: int
+    sort: Sort
+    _free: frozenset
+    _has_primed: bool
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} is immutable (hash-consed); "
+            "build a new expression instead"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    # Interning guarantees canonical instances, so copies must be the
+    # object itself -- a structural copy with identity equality would
+    # silently break every memo table keyed on expressions.
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Expr":
+        return self
 
     # -- boolean connectives -------------------------------------------------
     def __and__(self, other: ExprLike) -> "Expr":
@@ -68,7 +126,7 @@ class Expr:
     def __neg__(self) -> "Expr":
         return neg(self)
 
-    # -- comparisons (NOT __eq__/__ne__: those stay structural) ---------------
+    # -- comparisons (NOT __eq__/__ne__: those stay identity) ------------------
     def __lt__(self, other: ExprLike) -> "Expr":
         return lt(self, coerce(other))
 
@@ -82,7 +140,7 @@ class Expr:
         return ge(self, coerce(other))
 
     def eq(self, other: ExprLike) -> "Expr":
-        """Equality *expression* (structural ``==`` is left untouched)."""
+        """Equality *expression* (identity ``==`` is left untouched)."""
         return eq(self, coerce_like(other, self))
 
     def ne(self, other: ExprLike) -> "Expr":
@@ -93,14 +151,77 @@ class Expr:
 
         return to_str(self)
 
+    # Subclasses define ``_repr_fields`` naming their fields in the old
+    # dataclass order; __repr__ reproduces the frozen-dataclass format
+    # exactly.  That is load-bearing, not cosmetic: several components
+    # (APT canonical orders, NFA isomorphism signatures, minimisation
+    # block splitting) sort by ``repr`` to get an insertion-order-free
+    # deterministic ordering, and the hash-consing refactor must not
+    # perturb those orders.
+    _repr_fields: tuple[str, ...] = ()
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._repr_fields
+        )
+        return f"{type(self).__name__}({inner})"
+
+
+def _intern(
+    cls: type,
+    key: tuple,
+    fields: tuple[tuple[str, object], ...],
+    sort: Sort,
+    children: tuple["Expr", ...],
+) -> "Expr":
+    """Return the canonical node for ``key``, creating it on first use."""
+    node = _INTERN.get(key)
+    if node is not None:
+        return node
+    node = object.__new__(cls)
+    _set = object.__setattr__
+    for name, value in fields:
+        _set(node, name, value)
+    var_sets = [child._free for child in children if child._free]
+    if not var_sets:
+        free = _NO_VARS
+    elif len(var_sets) == 1:
+        free = var_sets[0]
+    else:
+        free = frozenset().union(*var_sets)
+    _set(node, "sort", sort)
+    _set(node, "_free", free)
+    _set(node, "_has_primed", any(child._has_primed for child in children))
+    _set(node, "eid", next(_EIDS))
+    _INTERN[key] = node
+    return node
+
+
 class Var(Expr):
     """A named variable.  ``primed`` marks the next-state copy ``x'``."""
 
-    name: str
-    sort: Sort
-    primed: bool = False
+    __slots__ = ("name", "primed")
+    _repr_fields = ('name', 'sort', 'primed')
+
+    def __new__(cls, name: str, sort: Sort, primed: bool = False):
+        primed = bool(primed)
+        key = ("var", name, sort, primed)
+        node = _INTERN.get(key)
+        if node is not None:
+            return node
+        node = object.__new__(cls)
+        _set = object.__setattr__
+        _set(node, "name", name)
+        _set(node, "sort", sort)
+        _set(node, "primed", primed)
+        _set(node, "_free", frozenset((node,)))
+        _set(node, "_has_primed", primed)
+        _set(node, "eid", next(_EIDS))
+        _INTERN[key] = node
+        return node
+
+    def __reduce__(self):
+        return (Var, (self.name, self.sort, self.primed))
 
     @property
     def qualified_name(self) -> str:
@@ -118,112 +239,179 @@ class Var(Expr):
         return Var(self.name, self.sort, primed=False)
 
 
-@dataclass(frozen=True)
 class Const(Expr):
     """A constant.  Booleans use ``value in (0, 1)`` with :data:`BOOL` sort;
     enum constants store the member index."""
 
-    value: int
-    sort: Sort
+    __slots__ = ("value",)
+    _repr_fields = ('value', 'sort')
 
-    def __post_init__(self) -> None:
-        if isinstance(self.sort, BoolSort) and self.value not in (0, 1):
-            raise ValueError(f"boolean constant must be 0/1, got {self.value}")
-        if isinstance(self.sort, EnumSort) and not (
-            0 <= self.value < self.sort.cardinality
-        ):
+    def __new__(cls, value: int, sort: Sort):
+        if isinstance(sort, BoolSort) and value not in (0, 1):
+            raise ValueError(f"boolean constant must be 0/1, got {value}")
+        if isinstance(sort, EnumSort) and not (0 <= value < sort.cardinality):
             raise ValueError(
-                f"enum constant index {self.value} out of range for {self.sort}"
+                f"enum constant index {value} out of range for {sort}"
             )
+        return _intern(
+            cls, ("const", value, sort), (("value", value),), sort, ()
+        )
+
+    def __reduce__(self):
+        return (Const, (self.value, self.sort))
 
 
-@dataclass(frozen=True)
 class Not(Expr):
-    arg: Expr
-    sort: Sort = field(default=BOOL, init=False)
+    __slots__ = ("arg",)
+    _repr_fields = ('arg', 'sort')
+
+    def __new__(cls, arg: Expr):
+        return _intern(cls, ("not", arg.eid), (("arg", arg),), BOOL, (arg,))
+
+    def __reduce__(self):
+        return (Not, (self.arg,))
 
 
-@dataclass(frozen=True)
 class And(Expr):
-    args: tuple[Expr, ...]
-    sort: Sort = field(default=BOOL, init=False)
+    __slots__ = ("args",)
+    _repr_fields = ('args', 'sort')
+
+    def __new__(cls, args: tuple[Expr, ...]):
+        args = tuple(args)
+        key = ("and",) + tuple(a.eid for a in args)
+        return _intern(cls, key, (("args", args),), BOOL, args)
+
+    def __reduce__(self):
+        return (And, (self.args,))
 
 
-@dataclass(frozen=True)
 class Or(Expr):
-    args: tuple[Expr, ...]
-    sort: Sort = field(default=BOOL, init=False)
+    __slots__ = ("args",)
+    _repr_fields = ('args', 'sort')
+
+    def __new__(cls, args: tuple[Expr, ...]):
+        args = tuple(args)
+        key = ("or",) + tuple(a.eid for a in args)
+        return _intern(cls, key, (("args", args),), BOOL, args)
+
+    def __reduce__(self):
+        return (Or, (self.args,))
 
 
-@dataclass(frozen=True)
-class Implies(Expr):
-    lhs: Expr
-    rhs: Expr
-    sort: Sort = field(default=BOOL, init=False)
+class _BoolBinary(Expr):
+    """Shared shape of the Boolean binary connectives."""
+
+    __slots__ = ("lhs", "rhs")
+    _repr_fields = ('lhs', 'rhs', 'sort')
+
+    _tag: str
+
+    def __new__(cls, lhs: Expr, rhs: Expr):
+        key = (cls._tag, lhs.eid, rhs.eid)
+        return _intern(
+            cls, key, (("lhs", lhs), ("rhs", rhs)), BOOL, (lhs, rhs)
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.lhs, self.rhs))
 
 
-@dataclass(frozen=True)
-class Iff(Expr):
-    lhs: Expr
-    rhs: Expr
-    sort: Sort = field(default=BOOL, init=False)
+class Implies(_BoolBinary):
+    __slots__ = ()
+    _tag = "=>"
 
 
-@dataclass(frozen=True)
-class Eq(Expr):
-    lhs: Expr
-    rhs: Expr
-    sort: Sort = field(default=BOOL, init=False)
+class Iff(_BoolBinary):
+    __slots__ = ()
+    _tag = "<=>"
 
 
-@dataclass(frozen=True)
-class Lt(Expr):
-    lhs: Expr
-    rhs: Expr
-    sort: Sort = field(default=BOOL, init=False)
+class Eq(_BoolBinary):
+    __slots__ = ()
+    _tag = "="
 
 
-@dataclass(frozen=True)
-class Le(Expr):
-    lhs: Expr
-    rhs: Expr
-    sort: Sort = field(default=BOOL, init=False)
+class Lt(_BoolBinary):
+    __slots__ = ()
+    _tag = "<"
 
 
-@dataclass(frozen=True)
+class Le(_BoolBinary):
+    __slots__ = ()
+    _tag = "<="
+
+
 class Add(Expr):
-    args: tuple[Expr, ...]
-    sort: Sort  # computed by smart constructor via interval analysis
+    __slots__ = ("args",)
+    _repr_fields = ('args', 'sort')
+
+    def __new__(cls, args: tuple[Expr, ...], sort: Sort):
+        args = tuple(args)
+        key = ("+", sort) + tuple(a.eid for a in args)
+        return _intern(cls, key, (("args", args),), sort, args)
+
+    def __reduce__(self):
+        return (Add, (self.args, self.sort))
 
 
-@dataclass(frozen=True)
 class Sub(Expr):
-    lhs: Expr
-    rhs: Expr
-    sort: Sort
+    __slots__ = ("lhs", "rhs")
+    _repr_fields = ('lhs', 'rhs', 'sort')
+
+    def __new__(cls, lhs: Expr, rhs: Expr, sort: Sort):
+        key = ("-", lhs.eid, rhs.eid, sort)
+        return _intern(
+            cls, key, (("lhs", lhs), ("rhs", rhs)), sort, (lhs, rhs)
+        )
+
+    def __reduce__(self):
+        return (Sub, (self.lhs, self.rhs, self.sort))
 
 
-@dataclass(frozen=True)
 class Neg(Expr):
-    arg: Expr
-    sort: Sort
+    __slots__ = ("arg",)
+    _repr_fields = ('arg', 'sort')
+
+    def __new__(cls, arg: Expr, sort: Sort):
+        key = ("neg", arg.eid, sort)
+        return _intern(cls, key, (("arg", arg),), sort, (arg,))
+
+    def __reduce__(self):
+        return (Neg, (self.arg, self.sort))
 
 
-@dataclass(frozen=True)
 class Mul(Expr):
-    lhs: Expr
-    rhs: Expr
-    sort: Sort
+    __slots__ = ("lhs", "rhs")
+    _repr_fields = ('lhs', 'rhs', 'sort')
+
+    def __new__(cls, lhs: Expr, rhs: Expr, sort: Sort):
+        key = ("*", lhs.eid, rhs.eid, sort)
+        return _intern(
+            cls, key, (("lhs", lhs), ("rhs", rhs)), sort, (lhs, rhs)
+        )
+
+    def __reduce__(self):
+        return (Mul, (self.lhs, self.rhs, self.sort))
 
 
-@dataclass(frozen=True)
 class Ite(Expr):
     """If-then-else; branches must share a compatible sort kind."""
 
-    cond: Expr
-    then: Expr
-    other: Expr
-    sort: Sort
+    __slots__ = ("cond", "then", "other")
+    _repr_fields = ('cond', 'then', 'other', 'sort')
+
+    def __new__(cls, cond: Expr, then: Expr, other: Expr, sort: Sort):
+        key = ("ite", cond.eid, then.eid, other.eid, sort)
+        return _intern(
+            cls,
+            key,
+            (("cond", cond), ("then", then), ("other", other)),
+            sort,
+            (cond, then, other),
+        )
+
+    def __reduce__(self):
+        return (Ite, (self.cond, self.then, self.other, self.sort))
 
 
 TRUE = Const(1, BOOL)
@@ -319,10 +507,8 @@ def land(*args: ExprLike) -> Expr:
             flat.extend(arg.args)
         else:
             flat.append(arg)
-    deduped: list[Expr] = []
-    for arg in flat:
-        if arg not in deduped:
-            deduped.append(arg)
+    # Order-preserving identity dedup (nodes are interned).
+    deduped = list(dict.fromkeys(flat))
     if not deduped:
         return TRUE
     if len(deduped) == 1:
@@ -343,10 +529,8 @@ def lor(*args: ExprLike) -> Expr:
             flat.extend(arg.args)
         else:
             flat.append(arg)
-    deduped: list[Expr] = []
-    for arg in flat:
-        if arg not in deduped:
-            deduped.append(arg)
+    # Order-preserving identity dedup (nodes are interned).
+    deduped = list(dict.fromkeys(flat))
     if not deduped:
         return FALSE
     if len(deduped) == 1:
@@ -365,26 +549,26 @@ def lnot(arg: ExprLike) -> Expr:
 
 def implies(lhs: ExprLike, rhs: ExprLike) -> Expr:
     lhs_e, rhs_e = coerce_bool(lhs), coerce_bool(rhs)
-    if lhs_e == TRUE:
+    if lhs_e is TRUE:
         return rhs_e
-    if lhs_e == FALSE or rhs_e == TRUE:
+    if lhs_e is FALSE or rhs_e is TRUE:
         return TRUE
-    if rhs_e == FALSE:
+    if rhs_e is FALSE:
         return lnot(lhs_e)
     return Implies(lhs_e, rhs_e)
 
 
 def iff(lhs: ExprLike, rhs: ExprLike) -> Expr:
     lhs_e, rhs_e = coerce_bool(lhs), coerce_bool(rhs)
-    if lhs_e == rhs_e:
+    if lhs_e is rhs_e:
         return TRUE
-    if lhs_e == TRUE:
+    if lhs_e is TRUE:
         return rhs_e
-    if rhs_e == TRUE:
+    if rhs_e is TRUE:
         return lhs_e
-    if lhs_e == FALSE:
+    if lhs_e is FALSE:
         return lnot(rhs_e)
-    if rhs_e == FALSE:
+    if rhs_e is FALSE:
         return lnot(lhs_e)
     return Iff(lhs_e, rhs_e)
 
@@ -410,7 +594,7 @@ def eq(lhs: ExprLike, rhs: ExprLike) -> Expr:
     _check_same_kind(lhs_e, rhs_e, "eq")
     if isinstance(lhs_e, Const) and isinstance(rhs_e, Const):
         return TRUE if lhs_e.value == rhs_e.value else FALSE
-    if lhs_e == rhs_e:
+    if lhs_e is rhs_e:
         return TRUE
     return Eq(lhs_e, rhs_e)
 
@@ -530,7 +714,7 @@ def ite(cond: ExprLike, then: ExprLike, other: ExprLike) -> Expr:
     _check_same_kind(then_e, other_e, "ite")
     if isinstance(cond_e, Const):
         return then_e if cond_e.value else other_e
-    if then_e == other_e:
+    if then_e is other_e:
         return then_e
     if then_e.sort.is_bool():
         sort: Sort = BOOL
@@ -579,7 +763,8 @@ def children(expr: Expr) -> tuple[Expr, ...]:
 
 
 def walk(expr: Expr) -> Iterable[Expr]:
-    """Pre-order traversal of all nodes."""
+    """Pre-order traversal of all nodes (tree semantics: shared
+    subexpressions are yielded once per occurrence)."""
     stack = [expr]
     while stack:
         node = stack.pop()
@@ -587,15 +772,39 @@ def walk(expr: Expr) -> Iterable[Expr]:
         stack.extend(reversed(children(node)))
 
 
-def free_vars(expr: Expr) -> set[Var]:
-    """All variables occurring in ``expr``."""
-    return {node for node in walk(expr) if isinstance(node, Var)}
+def walk_unique(expr: Expr) -> Iterable[Expr]:
+    """Traversal of all *distinct* nodes of the expression DAG.
+
+    With hash-consing, shared subexpressions are physically shared;
+    consumers that only need each node once (encoders, analyses) should
+    prefer this over :func:`walk` -- it is linear in the DAG size even
+    when the tree unfolding is exponential.
+    """
+    seen: set[Expr] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        yield node
+        stack.extend(children(node))
+
+
+def free_vars(expr: Expr) -> frozenset[Var]:
+    """All variables occurring in ``expr`` (O(1): cached at intern time)."""
+    return expr._free
+
+
+def has_primed_vars(expr: Expr) -> bool:
+    """True iff any variable of ``expr`` is primed (cached at intern time)."""
+    return expr._has_primed
 
 
 def int_constants(expr: Expr) -> set[int]:
     """All integer constants occurring in ``expr`` (for predicate pools)."""
     return {
         node.value
-        for node in walk(expr)
+        for node in walk_unique(expr)
         if isinstance(node, Const) and node.sort.is_int()
     }

@@ -6,6 +6,14 @@ evaluator backs the concrete simulator in :mod:`repro.system` -- the
 symbolic transition relation and the executable implementation share one
 source of truth, so the model checker and the trace generator can never
 disagree about the system's semantics.
+
+:func:`evaluate` is the reference tree-walking interpreter; the hot
+paths use :func:`repro.expr.compiled.compile_expr`, which flattens an
+expression into one compiled Python function with identical semantics
+(differentially tested).  :func:`holds` -- the Boolean entry point used
+by guard evaluation, predicate synthesis and counterexample splicing --
+goes through the compiled evaluator, so repeated queries against the
+same (interned) predicate pay no interpretation cost.
 """
 
 from __future__ import annotations
@@ -89,8 +97,18 @@ def evaluate(expr: Expr, env: Env) -> int:
     raise TypeError(f"cannot evaluate node {type(expr).__name__}")
 
 
+# Bound lazily to avoid a module-level import cycle (compiled.py imports
+# EvalError from here).
+_compile_expr = None
+
+
 def holds(expr: Expr, env: Env) -> bool:
     """True iff the Boolean expression ``expr`` is satisfied by ``env``."""
+    global _compile_expr
     if not expr.sort.is_bool():
         raise TypeError(f"holds() needs a Boolean expression, got {expr.sort}")
-    return bool(evaluate(expr, env))
+    if _compile_expr is None:
+        from .compiled import compile_expr
+
+        _compile_expr = compile_expr
+    return bool(_compile_expr(expr)(env))

@@ -215,8 +215,8 @@ def loads(text: str) -> Expr:
 
     Rebuilding goes through the smart constructors, so the result is the
     *normalised* form of what was written -- semantically identical, and
-    structurally identical for anything :func:`dumps` produced from an
-    already-normalised expression.
+    (interning) the *identical canonical object* for anything
+    :func:`dumps` produced from an already-normalised expression.
     """
     tokens = _tokenize(text)
     if not tokens:

@@ -9,6 +9,12 @@ rules that keep learned guards and extracted invariants readable:
 * ``x = c1 ∨ x ≠ c1`` →  ``true``  (complement detection in general)
 * enum equality sweeps: ``x = A ∨ x = B ∨ ... `` over *all* members → ``true``
 * implication with syntactically identical sides → ``true``
+
+``simplify`` is memoised by node identity (hash-consed core) and
+*idempotent*: the rules are iterated to a fixpoint, and the fixpoint is
+recorded for every intermediate form, so ``simplify(simplify(e)) is
+simplify(e)`` always holds and repeated simplification of shared
+predicates costs one dictionary lookup.
 """
 
 from __future__ import annotations
@@ -17,11 +23,38 @@ from .ast import And, Const, Eq, Expr, FALSE, Not, Or, TRUE, Var, land, lnot, lo
 from .subst import transform
 from .types import EnumSort
 
+# simplify() results, keyed by node identity.  Append-only, like the
+# intern table itself; every entry maps to its (also memoised) fixpoint.
+_SIMPLIFY_MEMO: dict[Expr, Expr] = {}
+
 
 def simplify(expr: Expr) -> Expr:
-    """Rebuild through smart constructors, then apply local rules."""
-    rebuilt = transform(expr, lambda leaf: leaf)
-    return _rules(rebuilt)
+    """Rebuild through smart constructors, then apply local rules.
+
+    Iterates to a fixpoint (flattening can expose new complement pairs),
+    so the result is stable under further simplification.
+    """
+    cached = _SIMPLIFY_MEMO.get(expr)
+    if cached is not None:
+        return cached
+    chain = [expr]
+    visited = {expr}
+    current = expr
+    while True:
+        cached = _SIMPLIFY_MEMO.get(current)
+        if cached is not None:
+            current = cached
+            break
+        step = _rules(transform(current, lambda leaf: leaf))
+        if step is current or step in visited:
+            break
+        chain.append(step)
+        visited.add(step)
+        current = step
+    for seen in chain:
+        _SIMPLIFY_MEMO[seen] = current
+    _SIMPLIFY_MEMO[current] = current
+    return current
 
 
 def _as_var_eq_const(expr: Expr) -> tuple[Var, int] | None:
@@ -45,14 +78,16 @@ def _rules(expr: Expr) -> Expr:
                     return FALSE
                 seen[var] = value
         # Complement pair detection.
+        present = set(args)
         for arg in args:
-            if lnot(arg) in args:
+            if lnot(arg) in present:
                 return FALSE
         return land(*args)
     if isinstance(expr, Or):
         args = [_rules(a) for a in expr.args]
+        present = set(args)
         for arg in args:
-            if lnot(arg) in args:
+            if lnot(arg) in present:
                 return TRUE
         # Enum sweep: disjunction of equalities covering every member.
         by_var: dict[Var, set[int]] = {}
@@ -70,8 +105,8 @@ def _rules(expr: Expr) -> Expr:
 
 
 def is_trivially_true(expr: Expr) -> bool:
-    return simplify(expr) == TRUE
+    return simplify(expr) is TRUE
 
 
 def is_trivially_false(expr: Expr) -> bool:
-    return simplify(expr) == FALSE
+    return simplify(expr) is FALSE

@@ -5,6 +5,13 @@ The completeness conditions of the paper mix predicates evaluated "now"
 ``v_t+1``).  The model checker realises "one step later" by rewriting a
 predicate over ``X`` into the same predicate over the primed copies
 ``X'`` -- that is :func:`to_primed`.
+
+With the hash-consed expression core every transform is memoised *by
+node identity*: within one call a shared subexpression is rewritten
+once (linear in the DAG, not the tree unfolding), and the pure unary
+transforms :func:`to_primed` / :func:`to_unprimed` additionally keep a
+global memo across calls -- the condition checker re-primes the same
+conclusions every strengthening round, which is now a dictionary hit.
 """
 
 from __future__ import annotations
@@ -44,45 +51,79 @@ from .ast import (
 )
 
 
+def _transform(
+    expr: Expr, leaf_fn: Callable[[Expr], Expr], memo: dict[Expr, Expr]
+) -> Expr:
+    done = memo.get(expr)
+    if done is not None:
+        return done
+    if isinstance(expr, (Var, Const)):
+        result = leaf_fn(expr)
+    elif isinstance(expr, Not):
+        result = lnot(_transform(expr.arg, leaf_fn, memo))
+    elif isinstance(expr, And):
+        result = land(*(_transform(a, leaf_fn, memo) for a in expr.args))
+    elif isinstance(expr, Or):
+        result = lor(*(_transform(a, leaf_fn, memo) for a in expr.args))
+    elif isinstance(expr, Implies):
+        result = implies(
+            _transform(expr.lhs, leaf_fn, memo),
+            _transform(expr.rhs, leaf_fn, memo),
+        )
+    elif isinstance(expr, Iff):
+        result = iff(
+            _transform(expr.lhs, leaf_fn, memo),
+            _transform(expr.rhs, leaf_fn, memo),
+        )
+    elif isinstance(expr, Eq):
+        result = eq(
+            _transform(expr.lhs, leaf_fn, memo),
+            _transform(expr.rhs, leaf_fn, memo),
+        )
+    elif isinstance(expr, Lt):
+        result = lt(
+            _transform(expr.lhs, leaf_fn, memo),
+            _transform(expr.rhs, leaf_fn, memo),
+        )
+    elif isinstance(expr, Le):
+        result = le(
+            _transform(expr.lhs, leaf_fn, memo),
+            _transform(expr.rhs, leaf_fn, memo),
+        )
+    elif isinstance(expr, Add):
+        result = add(*(_transform(a, leaf_fn, memo) for a in expr.args))
+    elif isinstance(expr, Sub):
+        result = sub(
+            _transform(expr.lhs, leaf_fn, memo),
+            _transform(expr.rhs, leaf_fn, memo),
+        )
+    elif isinstance(expr, Neg):
+        result = neg(_transform(expr.arg, leaf_fn, memo))
+    elif isinstance(expr, Mul):
+        result = mul(
+            _transform(expr.lhs, leaf_fn, memo),
+            _transform(expr.rhs, leaf_fn, memo),
+        )
+    elif isinstance(expr, Ite):
+        result = ite(
+            _transform(expr.cond, leaf_fn, memo),
+            _transform(expr.then, leaf_fn, memo),
+            _transform(expr.other, leaf_fn, memo),
+        )
+    else:
+        raise TypeError(f"unknown expression node {type(expr).__name__}")
+    memo[expr] = result
+    return result
+
+
 def transform(expr: Expr, leaf_fn: Callable[[Expr], Expr]) -> Expr:
     """Rebuild ``expr`` bottom-up, applying ``leaf_fn`` to Var/Const leaves.
 
     Rebuilding goes through the smart constructors, so substituting
-    constants folds the expression along the way.
+    constants folds the expression along the way.  Shared subexpressions
+    are rebuilt once per call (identity-keyed memo).
     """
-    if isinstance(expr, (Var, Const)):
-        return leaf_fn(expr)
-    if isinstance(expr, Not):
-        return lnot(transform(expr.arg, leaf_fn))
-    if isinstance(expr, And):
-        return land(*(transform(a, leaf_fn) for a in expr.args))
-    if isinstance(expr, Or):
-        return lor(*(transform(a, leaf_fn) for a in expr.args))
-    if isinstance(expr, Implies):
-        return implies(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
-    if isinstance(expr, Iff):
-        return iff(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
-    if isinstance(expr, Eq):
-        return eq(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
-    if isinstance(expr, Lt):
-        return lt(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
-    if isinstance(expr, Le):
-        return le(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
-    if isinstance(expr, Add):
-        return add(*(transform(a, leaf_fn) for a in expr.args))
-    if isinstance(expr, Sub):
-        return sub(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
-    if isinstance(expr, Neg):
-        return neg(transform(expr.arg, leaf_fn))
-    if isinstance(expr, Mul):
-        return mul(transform(expr.lhs, leaf_fn), transform(expr.rhs, leaf_fn))
-    if isinstance(expr, Ite):
-        return ite(
-            transform(expr.cond, leaf_fn),
-            transform(expr.then, leaf_fn),
-            transform(expr.other, leaf_fn),
-        )
-    raise TypeError(f"unknown expression node {type(expr).__name__}")
+    return _transform(expr, leaf_fn, {})
 
 
 def substitute(expr: Expr, mapping: Mapping[Var, Expr]) -> Expr:
@@ -107,6 +148,25 @@ def substitute_values(expr: Expr, env: Mapping[str, int]) -> Expr:
     return transform(expr, leaf)
 
 
+# Global memos for the pure unary priming transforms.  Safe because the
+# transforms are deterministic functions of the (immutable, interned)
+# input node; keyed by identity, which *is* structural equality here.
+_PRIMED_MEMO: dict[Expr, Expr] = {}
+_UNPRIMED_MEMO: dict[Expr, Expr] = {}
+
+
+def _prime_leaf(node: Expr) -> Expr:
+    if isinstance(node, Var) and not node.primed:
+        return node.prime()
+    return node
+
+
+def _unprime_leaf(node: Expr) -> Expr:
+    if isinstance(node, Var) and node.primed:
+        return node.unprime()
+    return node
+
+
 def to_primed(expr: Expr) -> Expr:
     """Rewrite every unprimed variable ``x`` to its primed copy ``x'``.
 
@@ -114,24 +174,20 @@ def to_primed(expr: Expr) -> Expr:
     of the paper asserts ``v_t+1 |= p_o``, which the checker encodes as
     ``to_primed(p_o)`` over the one-step unrolling.
     """
-
-    def leaf(node: Expr) -> Expr:
-        if isinstance(node, Var) and not node.primed:
-            return node.prime()
-        return node
-
-    return transform(expr, leaf)
+    cached = _PRIMED_MEMO.get(expr)
+    if cached is None:
+        cached = _transform(expr, _prime_leaf, {})
+        _PRIMED_MEMO[expr] = cached
+    return cached
 
 
 def to_unprimed(expr: Expr) -> Expr:
     """Rewrite every primed variable ``x'`` back to ``x``."""
-
-    def leaf(node: Expr) -> Expr:
-        if isinstance(node, Var) and node.primed:
-            return node.unprime()
-        return node
-
-    return transform(expr, leaf)
+    cached = _UNPRIMED_MEMO.get(expr)
+    if cached is None:
+        cached = _transform(expr, _unprime_leaf, {})
+        _UNPRIMED_MEMO[expr] = cached
+    return cached
 
 
 def rename_step(expr: Expr, step_of_unprimed: int, namer: Callable[[str, int], Var]) -> Expr:

@@ -17,7 +17,6 @@ from __future__ import annotations
 from ..automata.nfa import SymbolicNFA
 from ..expr.ast import Expr, Var, eq, land
 from ..expr.types import EnumSort
-from ..system.valuation import Valuation
 from ..traces.trace import TraceSet
 from .base import detect_mode_variables, infer_variables
 

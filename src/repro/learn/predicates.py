@@ -91,7 +91,11 @@ def candidate_atoms(
                 for value in sorted(observed):
                     atoms.append(eq(var, value))
                     atoms.append(lnot(eq(var, value)))
-    return atoms
+    # Atoms are interned, so duplicates across the cut/equality sections
+    # (a boundary cut that is also an observed value, a re-suggested
+    # literal) are the *same object*: identity dedup, keeping the
+    # deterministic first-occurrence order the search relies on.
+    return list(dict.fromkeys(atoms))
 
 
 def synthesize_separator(

@@ -30,7 +30,6 @@ from typing import Hashable, Sequence
 from ..automata.nfa import SymbolicNFA
 from ..expr.ast import Expr, Var, eq, land
 from ..sat.solver import Solver
-from ..system.valuation import Valuation
 from ..traces.trace import TraceSet
 from .base import detect_mode_variables, infer_variables
 

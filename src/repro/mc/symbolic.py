@@ -176,6 +176,12 @@ class BddCompiler:
     def __init__(self, system: SymbolicSystem):
         self.manager = BddManager()
         self.gates = BddGateBuilder(self.manager)
+        # Subformula compilation memos, keyed on the interned node's eid
+        # (identity == structural equality in the hash-consed core): a
+        # subformula shared between R, guards and queries is translated
+        # to a BDD exactly once per compiler.
+        self._bool_memo: dict[int, int] = {}
+        self._int_memo: dict[int, BitVec] = {}
         signature = observable_signature(system)
         layout = _ORDER_REGISTRY.get(signature)
         if layout is None:
@@ -280,6 +286,14 @@ class BddCompiler:
     def compile_bool(self, expr: Expr) -> int:
         if not expr.sort.is_bool():
             raise TypeError(f"expected bool expression, got {expr.sort}")
+        cached = self._bool_memo.get(expr.eid)
+        if cached is not None:
+            return cached
+        node = self._compile_bool(expr)
+        self._bool_memo[expr.eid] = node
+        return node
+
+    def _compile_bool(self, expr: Expr) -> int:
         gates = self.gates
         if isinstance(expr, Const):
             return gates.const(bool(expr.value))
@@ -325,6 +339,14 @@ class BddCompiler:
         raise TypeError(f"cannot compile boolean node {type(expr).__name__}")
 
     def compile_int(self, expr: Expr) -> BitVec:
+        cached = self._int_memo.get(expr.eid)
+        if cached is not None:
+            return cached
+        vec = self._compile_int(expr)
+        self._int_memo[expr.eid] = vec
+        return vec
+
+    def _compile_int(self, expr: Expr) -> BitVec:
         gates = self.gates
         if isinstance(expr, Const):
             lo, hi = interval(expr)

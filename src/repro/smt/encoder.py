@@ -8,6 +8,12 @@ code-generator-chosen widths).
 
 The encoder is memoised per expression node, so shared sub-expressions
 (ubiquitous in priority-encoded transition relations) are encoded once.
+With the hash-consed expression core the memo is keyed on the node's
+``eid`` (interning makes structural equality object identity, so the
+stable integer id *is* the structural key) -- cache probes cost a small
+int hash instead of a deep structural hash, and the same interned
+predicate asserted in different scopes or strengthening rounds always
+hits the same literal.
 """
 
 from __future__ import annotations
@@ -59,8 +65,9 @@ class Encoder:
         self._bool_vars: dict[str, int] = {}
         self._int_vars: dict[str, BitVec] = {}
         self._var_sorts: dict[str, object] = {}
-        self._bool_cache: dict[Expr, int] = {}
-        self._int_cache: dict[Expr, BitVec] = {}
+        # eid-keyed (interned exprs: eid is the structural identity).
+        self._bool_cache: dict[int, int] = {}
+        self._int_cache: dict[int, BitVec] = {}
 
     # ------------------------------------------------------------------
     # variable declaration
@@ -106,11 +113,11 @@ class Encoder:
         """Encode a Boolean expression; returns its output literal."""
         if not expr.sort.is_bool():
             raise TypeError(f"expected bool expression, got {expr.sort}")
-        cached = self._bool_cache.get(expr)
+        cached = self._bool_cache.get(expr.eid)
         if cached is not None:
             return cached
         lit = self._encode_bool(expr)
-        self._bool_cache[expr] = lit
+        self._bool_cache[expr.eid] = lit
         return lit
 
     def _encode_bool(self, expr: Expr) -> int:
@@ -160,11 +167,11 @@ class Encoder:
 
     def encode_int(self, expr: Expr) -> BitVec:
         """Encode an int/enum expression; returns its bit-vector."""
-        cached = self._int_cache.get(expr)
+        cached = self._int_cache.get(expr.eid)
         if cached is not None:
             return cached
         vec = self._encode_int(expr)
-        self._int_cache[expr] = vec
+        self._int_cache[expr.eid] = vec
         return vec
 
     def _encode_int(self, expr: Expr) -> BitVec:

@@ -10,7 +10,6 @@ state variables as the mode variables).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 from ..system.transition_system import SymbolicSystem
 from .chart import Chart, CodegenInfo

@@ -30,7 +30,7 @@ def build() -> Benchmark:
     chart = Chart("HomeClimateControlUsingTheTruthtableBlock")
     temp = chart.add_input("temp", IntSort(0, 60))
     humid = chart.add_input("humid", IntSort(0, 100))
-    setpoint = chart.add_input("setpoint", IntSort(10, 40))
+    chart.add_input("setpoint", IntSort(10, 40))
 
     cool_cmd = chart.add_data("cool_cmd", BOOL, init=0)
     dehumid_cmd = chart.add_data("dehumid_cmd", BOOL, init=0)

@@ -29,7 +29,6 @@ def launch_abort() -> Benchmark:
     fail = chart.add_input("fail", BOOL)
     alt = chart.add_data("alt", IntSort(0, 8), init=0)
 
-    from ..chart import Machine
 
     # AbortLogic is declared *first* (it must classify an abort against
     # the mission phase in which it was raised, i.e. the pre-update

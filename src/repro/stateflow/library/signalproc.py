@@ -12,8 +12,8 @@
 
 from __future__ import annotations
 
-from ...expr.ast import ite, land, lor
-from ...expr.types import BOOL, EnumSort, IntSort
+from ...expr.ast import ite, land
+from ...expr.types import BOOL, IntSort
 from ..benchmark import Benchmark, FsaSpec, make_benchmark
 from ..chart import Chart
 

@@ -25,10 +25,11 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Callable, Iterable, Mapping, Sequence
 
-from ..expr.ast import Expr, TRUE, Var, eq, free_vars, land
-from ..expr.eval import evaluate, holds
+from ..expr.ast import Expr, Var, eq, free_vars, land
+from ..expr.eval import holds
 from ..expr.types import BoolSort, EnumSort, IntSort
 from .valuation import Valuation
 
@@ -105,6 +106,18 @@ class SymbolicSystem:
             if var.name not in self.init_state:
                 raise ValueError(f"init_state missing {var.name!r}")
 
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields.
+
+        Process-local caches accumulate in ``__dict__`` as the system is
+        used -- compiled step functions (exec-generated, unpicklable)
+        and the shared analysis engines (solvers, BDD managers, huge BFS
+        tables).  None of them belong on the wire; everything rebuilds
+        lazily on the receiving side.
+        """
+        declared = {f.name for f in dataclass_fields(self)}
+        return {k: v for k, v in self.__dict__.items() if k in declared}
+
     # ------------------------------------------------------------------
     # derived views
     # ------------------------------------------------------------------
@@ -152,17 +165,39 @@ class SymbolicSystem:
     # ------------------------------------------------------------------
     # concrete semantics
     # ------------------------------------------------------------------
+    @property
+    def _step_fns(self) -> "list[tuple[str, Callable[[Mapping[str, int]], int]]]":
+        """Compiled next-state functions, built once per instance.
+
+        The next-state expressions are interned, so
+        :func:`~repro.expr.compiled.compile_expr` hands back one shared
+        compiled function per distinct expression process-wide; the
+        per-instance list only pins the (name, fn) pairing.  Stored in
+        ``__dict__`` like the shared analysis engines -- systems are
+        never pickled directly (workers rebuild from ``SystemSpec``).
+        """
+        cached = self.__dict__.get("_compiled_step_fns")
+        if cached is None:
+            from ..expr.compiled import compile_expr
+
+            cached = [
+                (var.name, compile_expr(expr))
+                for var, expr in self.next_exprs.items()
+            ]
+            self.__dict__["_compiled_step_fns"] = cached
+        return cached
+
     def step(self, state: Mapping[str, int], inputs: Mapping[str, int]) -> Valuation:
         """One step: returns the new state valuation.
 
         ``state`` binds the state variables, ``inputs`` the inputs consumed
         during this step (they appear primed in the next-state expressions).
+        Evaluation uses the compiled next-state functions (identical
+        semantics to :func:`repro.expr.evaluate`, differentially tested).
         """
         env = dict(state)
         env.update({f"{name}'": value for name, value in inputs.items()})
-        next_state = {
-            var.name: evaluate(expr, env) for var, expr in self.next_exprs.items()
-        }
+        next_state = {name: fn(env) for name, fn in self._step_fns}
         return Valuation(next_state)
 
     def observe(self, state: Mapping[str, int], inputs: Mapping[str, int]) -> Valuation:

@@ -3,6 +3,9 @@
 A valuation ``v : X -> D`` (paper §II-A) maps every observable variable
 to a value.  Observations are hashable so trace sets can deduplicate and
 the explicit-state engine can key on state projections.
+
+Lookups are dict-backed (O(1)); the sorted item tuple is kept alongside
+for the hash, ordered iteration/equality and the pickle contract.
 """
 
 from __future__ import annotations
@@ -13,19 +16,17 @@ from typing import Iterator, Mapping
 class Valuation(Mapping[str, int]):
     """Immutable mapping from variable names to values."""
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_dict", "_hash")
 
     def __init__(self, values: Mapping[str, int] | None = None, **kwargs: int):
         merged = dict(values or {})
         merged.update(kwargs)
+        self._dict = merged
         self._items = tuple(sorted(merged.items()))
         self._hash = hash(self._items)
 
     def __getitem__(self, key: str) -> int:
-        for name, value in self._items:
-            if name == key:
-                return value
-        raise KeyError(key)
+        return self._dict[key]
 
     def __iter__(self) -> Iterator[str]:
         return (name for name, _value in self._items)
@@ -40,7 +41,7 @@ class Valuation(Mapping[str, int]):
         if isinstance(other, Valuation):
             return self._items == other._items
         if isinstance(other, Mapping):
-            return dict(self._items) == dict(other)
+            return self._dict == dict(other)
         return NotImplemented
 
     def __repr__(self) -> str:
@@ -56,7 +57,7 @@ class Valuation(Mapping[str, int]):
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict[str, int]:
-        return dict(self._items)
+        return dict(self._dict)
 
     def project(self, names: Mapping[str, object] | list[str] | tuple[str, ...] | set[str]) -> "Valuation":
         """Restrict to the given variable names."""
@@ -69,11 +70,11 @@ class Valuation(Mapping[str, int]):
 
     def merged_with(self, other: Mapping[str, int]) -> "Valuation":
         """New valuation with ``other``'s bindings added/overriding."""
-        merged = dict(self._items)
+        merged = dict(self._dict)
         merged.update(other)
         return Valuation(merged)
 
     def key(self, names: tuple[str, ...]) -> tuple[int, ...]:
         """Projection as a plain tuple (fast dict key for BFS)."""
-        table = dict(self._items)
+        table = self._dict
         return tuple(table[name] for name in names)

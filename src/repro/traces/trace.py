@@ -8,8 +8,8 @@ languages must be prefix-closed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from ..system.valuation import Valuation
 

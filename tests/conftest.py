@@ -10,7 +10,7 @@
 import pytest
 
 from repro.expr import BOOL, Var, enum_sort, int_sort, ite, land
-from repro.system import SymbolicSystem, Valuation, make_system
+from repro.system import SymbolicSystem, make_system
 
 T_THRESH = 30
 

@@ -1,0 +1,62 @@
+"""Capture the expr-core golden file from the current tree.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/golden/capture_expr_core.py
+
+This was executed against the **pre-refactor** (structural-equality)
+expression core to freeze its observable behaviour; the differential
+test replays the same computations on the hash-consed core and demands
+bit-for-bit equality.  Re-run it only when the *intended* behaviour
+changes (and say so in the PR).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from expr_golden_common import (  # noqa: E402
+    ENGINES,
+    LOOP_SYSTEMS,
+    conditions_to_json,
+    learn_model_and_conditions,
+    loop_result,
+    loop_to_json,
+    model_to_json,
+    report_to_json,
+    serial_report,
+)
+
+from repro.stateflow.library import benchmark_names, get_benchmark  # noqa: E402
+
+GOLDEN_PATH = pathlib.Path(__file__).with_name("expr_core_golden.json")
+
+
+def main() -> None:
+    golden: dict = {"systems": {}, "loops": {}}
+    for name in benchmark_names():
+        benchmark = get_benchmark(name)
+        model, conditions = learn_model_and_conditions(benchmark)
+        entry = {
+            "model": model_to_json(model),
+            "conditions": conditions_to_json(conditions),
+            "reports": {},
+        }
+        for engine in ENGINES:
+            report = serial_report(benchmark, engine, conditions)
+            entry["reports"][engine] = report_to_json(report)
+        golden["systems"][name] = entry
+        print(f"captured {name}", flush=True)
+    for name in LOOP_SYSTEMS:
+        golden["loops"][name] = loop_to_json(loop_result(get_benchmark(name)))
+        print(f"captured loop {name}", flush=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True))
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

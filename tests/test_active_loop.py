@@ -9,7 +9,6 @@ The key guarantees exercised here:
 * budget expiry returns the model-so-far, like the paper's timeout rows.
 """
 
-import random
 
 import pytest
 
@@ -213,7 +212,6 @@ class TestRefinement:
         """T_CE ∩ L(M_j-1) = ∅ (§IV-B.3)."""
         traces = random_traces(cooler, count=1, length=1, seed=0)
         learner = t2m_for(cooler)
-        active = ActiveLearner(cooler, learner, k=10)
         # Run one manual iteration.
         from repro.core import (
             CompletenessOracle,

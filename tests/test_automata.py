@@ -4,7 +4,6 @@ import pytest
 
 from repro.automata import (
     SymbolicNFA,
-    Transition,
     TransitionWitness,
     guard_label,
     to_dot,

@@ -5,7 +5,6 @@ one benchmark through a scenario its MathWorks original documents and
 asserts the authored chart behaves accordingly.
 """
 
-import pytest
 
 from repro.stateflow.library import get_benchmark
 from repro.traces import guided_trace
@@ -65,7 +64,6 @@ class TestControlBenchmarks:
         trace = guided_trace(
             bench.system, [{"en": e} for e in (1, 0, 0, 0)]
         )
-        names = ["Disabled", "Enabled", "Held", "Reset"]
         observed = [
             _machine(bench, "Enabling").states[o["Enabling"]] for o in trace
         ]

@@ -1,6 +1,5 @@
 """Tests for structural chart coverage, plus benchmark semantics checks."""
 
-import pytest
 
 from repro.stateflow import measure_chart_coverage
 from repro.stateflow.library import get_benchmark
@@ -62,7 +61,6 @@ class TestBenchmarkSemantics:
     def test_moore_light_cycles(self):
         bench = get_benchmark("MooreTrafficLight")
         system = bench.system
-        light = system.var_by_name("Light")
         state = system.init_state
         seen = [state["Light"]]
         for _ in range(40):

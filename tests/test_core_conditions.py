@@ -1,6 +1,5 @@
 """Tests for condition extraction and the completeness oracle."""
 
-import pytest
 
 from repro.automata import SymbolicNFA
 from repro.core import (
@@ -134,8 +133,6 @@ class TestOracle:
         strengthened until the condition holds vacuously."""
         from repro.core import Condition
 
-        count = counter.var_by_name("c")
-        run = counter.var_by_name("run")
         # Claim: from any state with c=3 and run=0 (run is an input, the
         # state part c=3 is reachable) ... use an unreachable pin instead:
         # there is no state with c=7 (range caps at 5), so craft c=5 with

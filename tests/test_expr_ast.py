@@ -4,15 +4,11 @@ import pytest
 
 from repro.expr import (
     BOOL,
-    Add,
     And,
     Const,
-    EnumSort,
     Eq,
     FALSE,
-    IntSort,
     Lt,
-    Not,
     Or,
     TRUE,
     Var,

@@ -1,0 +1,111 @@
+"""Differential suite: hash-consed expr core ≡ pre-refactor behaviour.
+
+``tests/golden/expr_core_golden.json`` was captured by
+``tests/golden/capture_expr_core.py`` running against the *pre-refactor*
+expression core (structural frozen-dataclass equality, tree-walking
+evaluation).  This suite replays the same computations on the current
+tree and demands bit-for-bit equality:
+
+* the learned model (states, names, guards) per library system,
+* the extracted completeness conditions,
+* the canonical oracle report -- every outcome field and α -- per
+  system for each of the three engines {explicit, kinduction, ic3},
+* two full active-learning loops (per-iteration α/N and final model),
+* jobs=2 parallel oracle reports for a subset of systems, which round
+  conditions and outcomes through pickle and therefore exercise the
+  ``__reduce__`` → re-intern path end to end.
+
+All reference reports use canonical counterexamples, making every
+outcome a pure function of its condition -- the property that lets a
+golden file pin behaviour across processes, hash seeds and refactors.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from expr_golden_common import (
+    ENGINES,
+    LOOP_SYSTEMS,
+    MAX_STRENGTHENINGS,
+    PARALLEL_SYSTEMS,
+    conditions_to_json,
+    learn_model_and_conditions,
+    loop_result,
+    loop_to_json,
+    model_to_json,
+    report_to_json,
+    serial_report,
+)
+
+from repro.core.parallel import ParallelCompletenessOracle
+from repro.stateflow.library import benchmark_names, get_benchmark
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "golden" / "expr_core_golden.json"
+)
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _assert_reports_equal(actual: dict, expected: dict, context: str):
+    assert len(actual["outcomes"]) == len(expected["outcomes"]), (
+        f"{context}: outcome count"
+    )
+    for i, (act, exp) in enumerate(
+        zip(actual["outcomes"], expected["outcomes"])
+    ):
+        assert act == exp, f"{context}: outcome [{i}]"
+    assert actual["alpha"] == expected["alpha"], f"{context}: alpha"
+    assert actual["truncated"] == expected["truncated"], f"{context}: truncated"
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_models_and_reports_match_prerefactor(name):
+    benchmark = get_benchmark(name)
+    golden = GOLDEN["systems"][name]
+    model, conditions = learn_model_and_conditions(benchmark)
+    assert model_to_json(model) == golden["model"], "learned model drifted"
+    assert conditions_to_json(conditions) == golden["conditions"], (
+        "extracted conditions drifted"
+    )
+    for engine in ENGINES:
+        report = serial_report(benchmark, engine, conditions)
+        _assert_reports_equal(
+            report_to_json(report), golden["reports"][engine], engine
+        )
+
+
+@pytest.mark.parametrize("name", LOOP_SYSTEMS)
+def test_active_loop_matches_prerefactor(name):
+    result = loop_result(get_benchmark(name))
+    assert loop_to_json(result) == GOLDEN["loops"][name]
+
+
+@pytest.mark.parametrize("name", PARALLEL_SYSTEMS)
+def test_parallel_oracle_matches_prerefactor_golden(name):
+    """jobs=2 reports equal the pre-refactor serial golden bit for bit.
+
+    Conditions travel to the workers (and outcomes back) through
+    pickle, so equality here proves unpickled expressions re-intern to
+    the canonical nodes: a duplicate would change ``final_assumption``
+    identity, predicate dedup, or the dataclass equality of outcomes.
+    """
+    benchmark = get_benchmark(name)
+    golden = GOLDEN["systems"][name]
+    _model, conditions = learn_model_and_conditions(benchmark)
+    # fork for pool start-up speed; the message path (pickle both ways)
+    # is identical under fork and spawn, and spawn re-interning is
+    # covered by test_parallel_stress's spawn-safety tests.
+    with ParallelCompletenessOracle(
+        benchmark.system,
+        "explicit",
+        benchmark.k,
+        jobs=2,
+        max_strengthenings=MAX_STRENGTHENINGS,
+        start_method="fork",
+    ) as oracle:
+        report = oracle.check_all(conditions)
+    _assert_reports_equal(
+        report_to_json(report), golden["reports"]["explicit"], "jobs=2"
+    )

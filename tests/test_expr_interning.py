@@ -1,0 +1,258 @@
+"""Property tests for the hash-consed expression core.
+
+Randomised expression trees (seeded ``random.Random``; no external
+dependencies) drive four families of invariants:
+
+* **Interning**: structurally equal construction paths yield the *same
+  object* -- rebuilding any expression node-by-node through the raw
+  constructors, or reconstructing it via the smart constructors,
+  returns the identical canonical instance.
+* **S-expression round-trip**: ``loads ∘ dumps`` is the identity on
+  smart-constructed (normalised) expressions, and a fixpoint after one
+  normalisation for arbitrary trees.
+* **Simplify idempotence**: ``simplify(simplify(e)) is simplify(e)``.
+* **Compiled ≡ interpreted evaluation** over random total environments,
+  including the missing-variable error path.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.expr import (
+    BOOL,
+    Const,
+    EvalError,
+    Expr,
+    Var,
+    compile_expr,
+    enum_sort,
+    evaluate,
+    free_vars,
+    iff,
+    implies,
+    int_sort,
+    ite,
+    land,
+    lnot,
+    lor,
+    simplify,
+    sort_values,
+)
+from repro.expr.ast import (
+    Add,
+    And,
+    Eq,
+    Iff,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    add,
+    eq,
+    le,
+    lt,
+    mul,
+    neg,
+    sub,
+)
+from repro.expr.sexpr import dumps, loads
+
+MODE = enum_sort("Mode", "Off", "On", "Fault")
+VARS = (
+    Var("a", BOOL),
+    Var("b", BOOL),
+    Var("x", int_sort(0, 15)),
+    Var("y", int_sort(-5, 5)),
+    Var("m", MODE),
+)
+N_CASES = 120
+
+
+def random_bool_expr(rng: random.Random, depth: int) -> Expr:
+    if depth <= 0 or rng.random() < 0.25:
+        choice = rng.randrange(4)
+        if choice == 0:
+            return rng.choice([v for v in VARS if v.sort.is_bool()])
+        if choice == 1:
+            return Const(rng.randrange(2), BOOL)
+        if choice == 2:
+            var = rng.choice([v for v in VARS if not v.sort.is_bool()])
+            return eq(var, rng.choice(sort_values(var.sort)))
+        var = rng.choice([v for v in VARS if v.sort.is_int()])
+        op = rng.choice([lt, le])
+        return op(var, rng.randrange(-6, 17))
+    op = rng.randrange(6)
+    if op == 0:
+        return lnot(random_bool_expr(rng, depth - 1))
+    if op == 1:
+        return land(*(random_bool_expr(rng, depth - 1) for _ in range(rng.randrange(2, 4))))
+    if op == 2:
+        return lor(*(random_bool_expr(rng, depth - 1) for _ in range(rng.randrange(2, 4))))
+    if op == 3:
+        return implies(random_bool_expr(rng, depth - 1), random_bool_expr(rng, depth - 1))
+    if op == 4:
+        return iff(random_bool_expr(rng, depth - 1), random_bool_expr(rng, depth - 1))
+    return ite(
+        random_bool_expr(rng, depth - 1),
+        random_bool_expr(rng, depth - 1),
+        random_bool_expr(rng, depth - 1),
+    )
+
+
+def random_int_expr(rng: random.Random, depth: int) -> Expr:
+    if depth <= 0 or rng.random() < 0.35:
+        if rng.random() < 0.5:
+            return rng.choice([v for v in VARS if not v.sort.is_bool()])
+        value = rng.randrange(-4, 9)
+        return Const(value, int_sort(value, value))
+    op = rng.randrange(5)
+    if op == 0:
+        return add(random_int_expr(rng, depth - 1), random_int_expr(rng, depth - 1))
+    if op == 1:
+        return sub(random_int_expr(rng, depth - 1), random_int_expr(rng, depth - 1))
+    if op == 2:
+        return neg(random_int_expr(rng, depth - 1))
+    if op == 3:
+        return mul(random_int_expr(rng, depth - 1), random_int_expr(rng, depth - 1))
+    return ite(
+        random_bool_expr(rng, depth - 1),
+        random_int_expr(rng, depth - 1),
+        random_int_expr(rng, depth - 1),
+    )
+
+
+def random_env(rng: random.Random) -> dict[str, int]:
+    env = {}
+    for var in VARS:
+        env[var.name] = rng.choice(sort_values(var.sort))
+        env[f"{var.name}'"] = rng.choice(sort_values(var.sort))
+    return env
+
+
+def structural_clone(expr: Expr) -> Expr:
+    """Rebuild node-by-node through the *raw* constructors."""
+    if isinstance(expr, Var):
+        return Var(expr.name, expr.sort, expr.primed)
+    if isinstance(expr, Const):
+        return Const(expr.value, expr.sort)
+    if isinstance(expr, Not):
+        return Not(structural_clone(expr.arg))
+    if isinstance(expr, (And, Or)):
+        return type(expr)(tuple(structural_clone(a) for a in expr.args))
+    if isinstance(expr, (Implies, Iff, Eq, Lt, Le)):
+        return type(expr)(structural_clone(expr.lhs), structural_clone(expr.rhs))
+    if isinstance(expr, Add):
+        return Add(tuple(structural_clone(a) for a in expr.args), expr.sort)
+    if isinstance(expr, (Sub, Mul)):
+        return type(expr)(
+            structural_clone(expr.lhs), structural_clone(expr.rhs), expr.sort
+        )
+    if isinstance(expr, Neg):
+        return Neg(structural_clone(expr.arg), expr.sort)
+    if isinstance(expr, Ite):
+        return Ite(
+            structural_clone(expr.cond),
+            structural_clone(expr.then),
+            structural_clone(expr.other),
+            expr.sort,
+        )
+    raise TypeError(type(expr).__name__)
+
+
+def _cases(seed: int, int_ratio: float = 0.3):
+    rng = random.Random(seed)
+    for _ in range(N_CASES):
+        depth = rng.randrange(1, 5)
+        if rng.random() < int_ratio:
+            yield rng, random_int_expr(rng, depth)
+        else:
+            yield rng, random_bool_expr(rng, depth)
+
+
+class TestInterningInvariant:
+    def test_structurally_equal_paths_yield_same_object(self):
+        for _rng, expr in _cases(seed=101):
+            assert structural_clone(expr) is expr
+
+    def test_pickle_reinterns(self):
+        for _rng, expr in _cases(seed=202):
+            assert pickle.loads(pickle.dumps(expr)) is expr
+
+    def test_eid_stable_and_unique_per_structure(self):
+        seen: dict[int, Expr] = {}
+        for _rng, expr in _cases(seed=303):
+            if expr.eid in seen:
+                assert seen[expr.eid] is expr
+            seen[expr.eid] = expr
+            assert structural_clone(expr).eid == expr.eid
+
+    def test_free_vars_cached_matches_walk(self):
+        from repro.expr import walk
+
+        for _rng, expr in _cases(seed=404):
+            expected = {n for n in walk(expr) if isinstance(n, Var)}
+            assert free_vars(expr) == expected
+
+    def test_nodes_are_immutable(self):
+        var = Var("frozen_probe", BOOL)
+        with pytest.raises(AttributeError):
+            var.name = "thawed"
+        with pytest.raises(AttributeError):
+            del var.name
+
+
+class TestSexprRoundTrip:
+    def test_roundtrip_is_identity_on_boolean_exprs(self):
+        # Boolean smart constructors normalise fully, so one dumps/loads
+        # cycle must return the canonical node itself.
+        for _rng, expr in _cases(seed=505, int_ratio=0.0):
+            assert loads(dumps(expr)) is expr
+
+    def test_parse_print_parse_fixpoint(self):
+        # For *any* expression -- including arithmetic, where flattening
+        # nested sums can leave constants the reload's rebuild folds --
+        # one cycle reaches the fixpoint of parse∘print.
+        for _rng, expr in _cases(seed=606):
+            normalised = loads(dumps(expr))
+            assert loads(dumps(normalised)) is normalised
+
+    def test_fixpoint_reached_from_raw_nodes(self):
+        a, b = VARS[0], VARS[1]
+        raw = And((a, a, b))  # raw node: land() would have deduplicated
+        normalised = loads(dumps(raw))
+        assert normalised is land(a, b)
+        assert loads(dumps(normalised)) is normalised
+
+
+class TestSimplifyIdempotence:
+    def test_simplify_twice_is_same_object(self):
+        for _rng, expr in _cases(seed=707, int_ratio=0.0):
+            once = simplify(expr)
+            assert simplify(once) is once
+
+
+class TestCompiledEvaluation:
+    def test_compiled_matches_interpreter(self):
+        for rng, expr in _cases(seed=808):
+            fn = compile_expr(expr)
+            for _ in range(5):
+                env = random_env(rng)
+                assert fn(env) == evaluate(expr, env), dumps(expr)
+
+    def test_compiled_missing_variable_raises_evalerror(self):
+        x = Var("x", int_sort(0, 15))
+        expr = lt(x, 3)
+        with pytest.raises(EvalError):
+            compile_expr(expr)({})
+
+    def test_compiled_function_is_memoised(self):
+        x = Var("x", int_sort(0, 15))
+        expr = land(lt(x, 9), Var("a", BOOL))
+        assert compile_expr(expr) is compile_expr(land(lt(x, 9), Var("a", BOOL)))

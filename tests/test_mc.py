@@ -112,7 +112,6 @@ class TestBmc:
         assert bmc(counter, count.eq(4), k=4).reachable
 
     def test_unreachable_state(self, two_phase):
-        phase = two_phase.var_by_name("phase")
         cycles = two_phase.var_by_name("cycles")
         # One full cycle takes two ticks; cycles=1 while phase=B after
         # three ticks... but cycles=3 within 2 steps is impossible.

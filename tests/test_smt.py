@@ -13,7 +13,6 @@ from repro.expr import (
     Var,
     enum_sort,
     eq,
-    evaluate,
     holds,
     int_sort,
     ite,

@@ -7,9 +7,8 @@ parallel composition, during actions, dwell counters.
 
 import pytest
 
-from repro.expr import BOOL, IntSort, holds, ite, land
+from repro.expr import BOOL, IntSort, holds, land
 from repro.stateflow import Chart, Machine
-from repro.system import Valuation
 
 
 def simple_chart():

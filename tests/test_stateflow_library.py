@@ -8,7 +8,7 @@ ones.
 
 import pytest
 
-from repro.stateflow.library import all_benchmarks, benchmark_names, get_benchmark
+from repro.stateflow.library import benchmark_names, get_benchmark
 
 EXPECTED_BENCHMARKS = 28
 
@@ -78,7 +78,7 @@ class TestEveryBenchmark:
             state = system.step(state, inputs)
         # state stays within declared sorts
         for var in system.state_vars:
-            from repro.expr import IntSort, EnumSort, BoolSort
+            from repro.expr import IntSort, EnumSort
 
             value = state[var.name]
             if isinstance(var.sort, IntSort):

@@ -15,7 +15,7 @@ from repro.system import Valuation
 def _all_state_valuations(system):
     import itertools
 
-    from repro.expr import BoolSort, EnumSort, IntSort
+    from repro.expr import BoolSort, IntSort
 
     spaces = []
     for var in system.state_vars:
@@ -123,7 +123,6 @@ class TestSymbolicSpuriousness:
 
     def test_drop_in_for_active_learning(self, cooler):
         """The BDD engine can drive the full loop via the oracle API."""
-        from repro.core import ActiveLearner
         from repro.core.oracle import CompletenessOracle
         from repro.core.conditions import extract_conditions
         from repro.learn import T2MLearner

@@ -5,8 +5,8 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.expr import BOOL, Var, evaluate, holds, int_sort, ite
-from repro.system import SymbolicSystem, Valuation, make_system
+from repro.expr import BOOL, Var, holds, int_sort, ite
+from repro.system import Valuation, make_system
 
 
 class TestValuation:

@@ -1,15 +1,13 @@
 """Tests for the §VI use-case APIs: coverage evaluation and cross-checking."""
 
-import pytest
 
 from repro.core import (
     close_holes,
     cross_check,
     evaluate_suite,
-    extract_invariants,
-)
+    )
 from repro.core.loop import ActiveLearner
-from repro.expr import Var, enum_sort, int_sort, ite
+from repro.expr import Var, enum_sort, ite
 from repro.learn import T2MLearner
 from repro.system import make_system
 from repro.traces import TraceSet, guided_trace, random_traces
