@@ -68,10 +68,10 @@ def _classification_batch(system, reach, deep_depth: int = 8, count: int = 18):
     """Reachable (shallow + deep) and unreachable probe states."""
     table = sorted(reach._table.items(), key=lambda kv: kv[1][0])
     names = system.state_names
-    states = [Valuation(dict(zip(names, key))) for key, _ in table[:count // 3]]
+    states = [Valuation(dict(zip(names, key, strict=True))) for key, _ in table[:count // 3]]
     depth_cap = min(reach.diameter, deep_depth)
     states.extend(
-        Valuation(dict(zip(names, key)))
+        Valuation(dict(zip(names, key, strict=True)))
         for key, (depth, _p, _i) in table
         if depth == depth_cap
     )
@@ -80,7 +80,7 @@ def _classification_batch(system, reach, deep_depth: int = 8, count: int = 18):
     unreachable = []
     for combo in itertools.product(*spaces):
         if combo not in reachable_keys:
-            unreachable.append(Valuation(dict(zip(names, combo))))
+            unreachable.append(Valuation(dict(zip(names, combo, strict=True))))
             if len(unreachable) >= count // 3:
                 break
     return (states + unreachable)[:count]

@@ -111,7 +111,7 @@ def test_warm_session_relearning_speedup():
         assert session.warm
 
         for round_index, (warm, fresh) in enumerate(
-            zip(session_models, fresh_models)
+            zip(session_models, fresh_models, strict=True)
         ):
             assert nfa_isomorphic(warm, fresh), (
                 f"{label}: session model diverged on round {round_index}"

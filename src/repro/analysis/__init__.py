@@ -1,0 +1,52 @@
+"""Static analysis for the system DSL and the repo's own contracts.
+
+Two coordinated passes:
+
+* the **DSL analyzer** (:mod:`~repro.analysis.sortcheck`,
+  :mod:`~repro.analysis.system_check`) — eid-memoised sort inference and
+  well-formedness checking over the hash-consed Expr DAG plus structural
+  checks on systems, benchmarks, conditions and traces, each finding a
+  stable-coded :class:`~repro.analysis.diagnostics.Diagnostic`;
+* the **contract linter** (:mod:`~repro.analysis.contracts`) — a
+  Python-``ast`` pass enforcing the hash-consing and spawn-safety
+  invariants (run via ``tools/check_contracts.py``).
+
+See ``docs/static_analysis.md`` for the diagnostic-code catalogue.
+"""
+
+from .contracts import ContractFinding, lint_file, lint_paths, lint_source
+from .diagnostics import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from .sortcheck import SortChecker, check_expr, expr_bounds
+from .system_check import (
+    check_benchmark,
+    check_conditions,
+    check_system,
+    check_traces,
+    validate_conditions,
+    validate_system,
+)
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "ContractFinding",
+    "Diagnostic",
+    "Severity",
+    "SortChecker",
+    "check_benchmark",
+    "check_conditions",
+    "check_expr",
+    "check_system",
+    "check_traces",
+    "expr_bounds",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "validate_conditions",
+    "validate_system",
+]

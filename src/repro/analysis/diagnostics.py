@@ -1,0 +1,131 @@
+"""Structured diagnostics for the static-analysis layer.
+
+Every finding of the DSL analyzer (:mod:`repro.analysis.sortcheck`,
+:mod:`repro.analysis.system_check`) is a :class:`Diagnostic`: a stable
+error code (the ``R0xx``/``R1xx``/... catalogue in
+``docs/static_analysis.md``), a severity, a human-readable message, the
+*printed form* of the offending subexpression (or the offending name),
+and the context it was found in (``next(mode)``, ``init``, ``condition
+assumption``, ...).  Reports are deterministic: the analyzer walks
+expression DAGs in structural order and the report sorts findings by
+``(code, context, subject)``, so two runs — under any
+``PYTHONHASHSEED`` — produce identical output.
+
+The contract linter (:mod:`repro.analysis.contracts`) has its own
+``C0xx`` finding type because its subjects are source locations, not
+expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+
+
+class Severity(IntEnum):
+    """Diagnostic severity; comparisons follow ``INFO < WARNING < ERROR``."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``subject`` is the printed form of the offending subexpression (via
+    :func:`repro.expr.printer.to_str`) or, for non-expression findings,
+    the offending name; ``context`` names where it was found.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    context: str = ""
+
+    def format(self) -> str:
+        where = f" [{self.context}]" if self.context else ""
+        what = f": {self.subject}" if self.subject else ""
+        return f"{self.code} {self.severity}{where} {self.message}{what}"
+
+    def with_context(self, context: str) -> "Diagnostic":
+        if self.context:
+            return self
+        return replace(self, context=context)
+
+
+def _sort_key(diag: Diagnostic) -> tuple:
+    return (diag.code, diag.context, diag.subject, diag.message)
+
+
+@dataclass
+class AnalysisReport:
+    """An ordered collection of diagnostics for one analyzed artefact.
+
+    ``subject`` names the artefact (system, benchmark, trace file).
+    Diagnostics are kept sorted by ``(code, context, subject)`` so the
+    report is a pure function of the analyzed structure — independent of
+    traversal incidentals and hash seeding.
+    """
+
+    subject: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: "list[Diagnostic] | AnalysisReport") -> None:
+        if isinstance(diags, AnalysisReport):
+            diags = diags.diagnostics
+        self.diagnostics.extend(diags)
+
+    def finalize(self) -> "AnalysisReport":
+        """Sort and dedup; call once after all passes ran."""
+        self.diagnostics = sorted(set(self.diagnostics), key=_sort_key)
+        return self
+
+    # ------------------------------------------------------------------
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the report has no diagnostics at all."""
+        return not self.diagnostics
+
+    def codes(self) -> list[str]:
+        return [d.code for d in self.diagnostics]
+
+    def format(self) -> str:
+        name = self.subject or "<unnamed>"
+        if not self.diagnostics:
+            return f"{name}: OK (0 diagnostics)"
+        lines = [f"{name}: {len(self.diagnostics)} diagnostic(s)"]
+        lines.extend(f"  {d.format()}" for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+class AnalysisError(ValueError):
+    """Raised by the opt-in ``validate=`` boundaries on ERROR findings.
+
+    Carries the full report so callers (and the future job server's
+    error responses) can surface every named diagnostic, not just the
+    first.
+    """
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        super().__init__(report.format())

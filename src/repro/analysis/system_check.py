@@ -1,0 +1,548 @@
+"""System-, benchmark-, condition- and trace-level well-formedness checks.
+
+This is the front door the engines never had: every check here names a
+failure that previously surfaced as a deep ``KeyError`` in the Tseitin
+encoder, a wrong-width bitvector model, or a silently-wrong simulation.
+Expression-level findings (R001–R006) come from
+:class:`~repro.analysis.sortcheck.SortChecker`; this module adds the
+structural rules of :class:`~repro.system.transition_system.
+SymbolicSystem` itself (R101–R107), of extracted completeness conditions
+(R201), and of observation traces (R301–R303).
+
+The optional **semantic tier** (``semantic=True``) reuses the
+:class:`~repro.smt.solver.SmtSolver` bit-blaster to decide guard
+properties no structural walk can see: transitions that can never fire
+(R401), same-state guards that overlap and are disambiguated only by
+priority (R402), and states whose outgoing guards are non-exhaustive
+(R403).  It is opt-in because its findings are stylistic for many charts
+(a state that parks on no-fire ticks is ordinary Stateflow), and because
+it costs SAT calls rather than a DAG walk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..expr.ast import FALSE, Expr, Var, land
+from ..expr.printer import to_str
+from ..expr.simplify import simplify
+from ..expr.types import sort_values
+from ..system.transition_system import SymbolicSystem
+from .diagnostics import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from .sortcheck import SortChecker, _range_of, expr_bounds
+
+
+def _diag(
+    code: str,
+    message: str,
+    subject: str = "",
+    context: str = "",
+    severity: Severity = Severity.ERROR,
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        subject=subject,
+        context=context,
+    )
+
+
+def _in_sort(value: int, sort) -> bool:
+    bounds = _range_of(sort)
+    if bounds is None:
+        return value in (0, 1)
+    return bounds[0] <= value <= bounds[1]
+
+
+# ---------------------------------------------------------------------------
+# SymbolicSystem
+# ---------------------------------------------------------------------------
+
+
+def check_system(system: SymbolicSystem) -> AnalysisReport:
+    """Structural analysis of a symbolic system (R001–R107)."""
+    report = AnalysisReport(subject=system.name)
+    scope = {v.name: v for v in system.variables}
+    state_vars = {v.name: v for v in system.state_vars}
+    input_names = {v.name for v in system.input_vars}
+    checker = SortChecker(scope)
+
+    # R108: state and input namespaces must be disjoint (an overlap
+    # makes ``observe`` silently shadow the input with the state).
+    overlap = sorted(
+        {v.name for v in system.state_vars}
+        & {v.name for v in system.input_vars}
+    )
+    for name in overlap:
+        report.add(
+            _diag(
+                "R108",
+                f"{name!r} is declared both as a state and as an input "
+                "variable",
+                subject=name,
+            )
+        )
+
+    # R102: the state vars and the next-state table must coincide.
+    next_by_name = {}
+    for var in system.next_exprs:
+        next_by_name[var.name] = var
+        if var.name not in state_vars or state_vars[var.name] != var:
+            report.add(
+                _diag(
+                    "R102",
+                    "next-state expression for a variable that is not a "
+                    "declared state variable",
+                    subject=var.qualified_name,
+                    context=f"next({var.name})",
+                )
+            )
+    for name in state_vars:
+        if name not in next_by_name:
+            report.add(
+                _diag(
+                    "R102",
+                    f"state variable {name!r} has no next-state expression",
+                    subject=name,
+                )
+            )
+
+    for var, expr in sorted(
+        system.next_exprs.items(), key=lambda kv: kv[0].name
+    ):
+        context = f"next({var.name})"
+        report.extend(checker.check(expr, context=context))
+        report.extend(_check_next_scoping(var, expr, state_vars, input_names))
+        report.extend(_check_next_sort(var, expr, context))
+
+    # R103: the initial valuation must cover exactly the state variables,
+    # with in-sort values.
+    for name, var in sorted(state_vars.items()):
+        if name not in system.init_state:
+            report.add(
+                _diag(
+                    "R103",
+                    f"init_state is missing state variable {name!r}",
+                    subject=name,
+                    context="init",
+                )
+            )
+        elif not _in_sort(system.init_state[name], var.sort):
+            report.add(
+                _diag(
+                    "R103",
+                    f"initial value {system.init_state[name]} is outside "
+                    f"sort {var.sort}",
+                    subject=name,
+                    context="init",
+                )
+            )
+    for name in sorted(system.init_state):
+        if name not in state_vars:
+            report.add(
+                _diag(
+                    "R103",
+                    f"init_state binds {name!r}, which is not a state "
+                    "variable",
+                    subject=name,
+                    context="init",
+                    severity=Severity.WARNING,
+                )
+            )
+
+    # R107: declared input samples must be total, in-sort input valuations.
+    for index, sample in enumerate(system.input_samples):
+        context = f"input_samples[{index}]"
+        for var in system.input_vars:
+            if var.name not in sample:
+                report.add(
+                    _diag(
+                        "R107",
+                        f"sample is missing input {var.name!r}",
+                        subject=var.name,
+                        context=context,
+                    )
+                )
+            elif not _in_sort(sample[var.name], var.sort):
+                report.add(
+                    _diag(
+                        "R107",
+                        f"sample value {sample[var.name]} for {var.name!r} "
+                        f"is outside sort {var.sort}",
+                        subject=var.name,
+                        context=context,
+                    )
+                )
+        for name in sorted(sample.as_dict()):
+            if name not in input_names:
+                report.add(
+                    _diag(
+                        "R107",
+                        f"sample binds {name!r}, which is not an input "
+                        "variable",
+                        subject=name,
+                        context=context,
+                        severity=Severity.WARNING,
+                    )
+                )
+
+    return report.finalize()
+
+
+def _check_next_scoping(
+    var: Var,
+    expr: Expr,
+    state_vars: Mapping[str, Var],
+    input_names: "set[str]",
+) -> list[Diagnostic]:
+    """R104: next-state expressions range over unprimed state variables
+    and *primed* input variables, nothing else (paper §II-A: ``X' =
+    f(X, inputs')``)."""
+    from ..expr.ast import free_vars
+
+    diags = []
+    context = f"next({var.name})"
+    for ref in sorted(free_vars(expr), key=lambda v: v.qualified_name):
+        if ref.primed and ref.name not in input_names:
+            diags.append(
+                _diag(
+                    "R104",
+                    f"references primed non-input {ref.qualified_name!r}",
+                    subject=ref.qualified_name,
+                    context=context,
+                )
+            )
+        elif not ref.primed and ref.name not in state_vars:
+            diags.append(
+                _diag(
+                    "R104",
+                    f"references {ref.name!r}, which is not a state "
+                    "variable (inputs must appear primed)",
+                    subject=ref.qualified_name,
+                    context=context,
+                )
+            )
+    return diags
+
+
+def _check_next_sort(var: Var, expr: Expr, context: str) -> list[Diagnostic]:
+    """R101: the next-state expression must produce values of the state
+    variable's sort.  Kinds must match exactly; for numeric sorts the
+    constraint-refined value bounds must fit the variable's range (the
+    stored expression sort may be wider — see
+    :func:`~repro.analysis.sortcheck.expr_bounds`)."""
+    if var.sort.is_bool():
+        if expr.sort.is_bool():
+            return []
+        return [
+            _diag(
+                "R101",
+                f"next-state expression has sort {expr.sort}, state "
+                f"variable {var.name!r} is boolean",
+                subject=to_str(expr),
+                context=context,
+            )
+        ]
+    if expr.sort.is_bool():
+        return [
+            _diag(
+                "R101",
+                "next-state expression is boolean, state variable "
+                f"{var.name!r} has sort {var.sort}",
+                subject=to_str(expr),
+                context=context,
+            )
+        ]
+    if expr.sort.is_enum() and expr.sort != var.sort:
+        return [
+            _diag(
+                "R101",
+                f"next-state expression has enum sort {expr.sort}, state "
+                f"variable {var.name!r} has sort {var.sort}",
+                subject=to_str(expr),
+                context=context,
+            )
+        ]
+    lo, hi = expr_bounds(expr)
+    var_lo, var_hi = _range_of(var.sort)
+    if (lo < var_lo or hi > var_hi) and _can_escape_range(
+        expr, var_lo, var_hi
+    ):
+        return [
+            _diag(
+                "R101",
+                f"next-state values can leave sort {var.sort} of state "
+                f"variable {var.name!r} (interval [{lo},{hi}])",
+                subject=to_str(expr),
+                context=context,
+            )
+        ]
+    return []
+
+
+def _can_escape_range(expr: Expr, lo: int, hi: int) -> bool:
+    """Bit-precise confirmation that ``expr`` can take a value outside
+    ``[lo, hi]``.
+
+    Interval analysis (:func:`expr_bounds`) over-approximates: guards
+    like ``¬(... ∨ x ≥ cap ∨ ...)`` bound a branch relationally, which
+    no environment of per-variable ranges can see.  An interval-level
+    suspicion is therefore *confirmed* by one satisfiability query over
+    the variables' sorts before R101 is reported — findings are exact,
+    at the price of a SAT call only on the rare suspicious expression.
+    """
+    from ..expr.ast import gt, lor, lt
+    from ..smt.solver import is_satisfiable
+
+    return is_satisfiable(lor(lt(expr, lo), gt(expr, hi)))
+
+
+def validate_system(system: SymbolicSystem) -> SymbolicSystem:
+    """Raise :class:`AnalysisError` if the system has ERROR findings."""
+    report = check_system(system)
+    if report.errors:
+        raise AnalysisError(report)
+    return system
+
+
+# ---------------------------------------------------------------------------
+# benchmarks (chart-aware checks)
+# ---------------------------------------------------------------------------
+
+
+def check_benchmark(benchmark, semantic: bool = False) -> AnalysisReport:
+    """System checks plus FSA-spec (R105), chart reachability (R106) and
+    — with ``semantic=True`` — solver-backed guard checks (R401–R403)."""
+    report = AnalysisReport(subject=benchmark.name)
+    report.extend(check_system(benchmark.system))
+
+    machine_names = {m.name for m in benchmark.chart.machines}
+    observable_names = {v.name for v in benchmark.system.variables}
+    for spec in benchmark.fsas:
+        context = f"fsa({spec.name})"
+        for machine in spec.machines:
+            if machine not in machine_names:
+                report.add(
+                    _diag(
+                        "R105",
+                        f"FSA references unknown machine {machine!r}",
+                        subject=machine,
+                        context=context,
+                    )
+                )
+        for name in spec.resolved_mode_vars():
+            if name not in observable_names:
+                report.add(
+                    _diag(
+                        "R105",
+                        f"mode variable {name!r} is not a declared "
+                        "observable of the system",
+                        subject=name,
+                        context=context,
+                    )
+                )
+
+    for machine in benchmark.chart.machines:
+        report.extend(_check_machine_reachability(machine))
+
+    if semantic:
+        report.extend(_semantic_guard_checks(benchmark))
+
+    return report.finalize()
+
+
+def _check_machine_reachability(machine) -> list[Diagnostic]:
+    """R106: states unreachable from the initial state over transitions
+    whose guard does not simplify to false."""
+    edges: dict[str, set[str]] = {state: set() for state in machine.states}
+    for transition in machine.transitions:
+        if simplify(transition.guard) is FALSE:
+            continue
+        edges[transition.src].add(transition.dst)
+    reached = {machine.initial}
+    frontier = [machine.initial]
+    while frontier:
+        here = frontier.pop()
+        for there in edges[here]:
+            if there not in reached:
+                reached.add(there)
+                frontier.append(there)
+    return [
+        _diag(
+            "R106",
+            f"state {state!r} of machine {machine.name!r} is unreachable "
+            "from the initial state by static guard analysis",
+            subject=f"{machine.name}.{state}",
+            context=f"machine({machine.name})",
+            severity=Severity.WARNING,
+        )
+        for state in machine.states
+        if state not in reached
+    ]
+
+
+def _semantic_guard_checks(benchmark) -> list[Diagnostic]:
+    """R401–R403: solver-backed guard analysis on the compiled chart."""
+    from ..smt.solver import is_satisfiable, is_valid
+    from ..expr.ast import lnot, lor
+
+    diags: list[Diagnostic] = []
+    for machine in benchmark.chart.machines:
+        context = f"machine({machine.name})"
+        compiled = benchmark.info.compiled.get(machine.name, [])
+        for item in compiled:
+            if not is_satisfiable(item.condition):
+                diags.append(
+                    _diag(
+                        "R401",
+                        f"transition {item.transition.label!r} can never "
+                        "fire (its compiled condition, including priority "
+                        "blocking, is unsatisfiable)",
+                        subject=to_str(item.transition.guard),
+                        context=context,
+                        severity=Severity.WARNING,
+                    )
+                )
+        by_src: dict[str, list] = {}
+        for transition in machine.transitions:
+            by_src.setdefault(transition.src, []).append(transition)
+        for src in sorted(by_src):
+            group = by_src[src]
+            for i, first in enumerate(group):
+                for second in group[i + 1 :]:
+                    if is_satisfiable(land(first.guard, second.guard)):
+                        diags.append(
+                            _diag(
+                                "R402",
+                                f"guards of {first.label!r} and "
+                                f"{second.label!r} overlap; the conflict "
+                                "is resolved only by declaration order",
+                                subject=to_str(
+                                    land(first.guard, second.guard)
+                                ),
+                                context=context,
+                                severity=Severity.WARNING,
+                            )
+                        )
+            disjunction = lor(*(t.guard for t in group))
+            if not is_valid(disjunction):
+                diags.append(
+                    _diag(
+                        "R403",
+                        f"outgoing guards of state {src!r} are "
+                        "non-exhaustive (the machine parks when none "
+                        "holds)",
+                        subject=to_str(simplify(lnot(disjunction))),
+                        context=context,
+                        severity=Severity.INFO,
+                    )
+                )
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# conditions (the oracle boundary)
+# ---------------------------------------------------------------------------
+
+
+def check_conditions(
+    conditions: Iterable, system: SymbolicSystem
+) -> AnalysisReport:
+    """R201 plus expression checks over extracted completeness conditions.
+
+    Condition bodies are predicates over a *single* observation, so they
+    must be Boolean, unprimed, and scoped to the system's observables.
+    """
+    report = AnalysisReport(subject=f"conditions({system.name})")
+    scope = {v.name: v for v in system.variables}
+    checker = SortChecker(scope)
+    for index, condition in enumerate(conditions):
+        context = f"condition[{index}]({condition.state_name})"
+        bodies = []
+        if condition.assumption is not None:
+            bodies.append(("assumption", condition.assumption))
+        bodies.append(("conclusion", condition.conclusion))
+        for role, body in bodies:
+            if not body.sort.is_bool():
+                report.add(
+                    _diag(
+                        "R201",
+                        f"{role} has sort {body.sort}, expected a Boolean "
+                        "predicate over one observation",
+                        subject=to_str(body),
+                        context=context,
+                    )
+                )
+            report.extend(
+                checker.check(body, context=context, allow_primed=False)
+            )
+    return report.finalize()
+
+
+def validate_conditions(
+    conditions: Sequence, system: SymbolicSystem
+) -> Sequence:
+    """Raise :class:`AnalysisError` on ERROR findings; returns the input."""
+    report = check_conditions(conditions, system)
+    if report.errors:
+        raise AnalysisError(report)
+    return conditions
+
+
+# ---------------------------------------------------------------------------
+# traces
+# ---------------------------------------------------------------------------
+
+
+def check_traces(traces: Iterable, system: SymbolicSystem) -> AnalysisReport:
+    """R301–R303: observation traces against the system's observables.
+
+    * R301 — an observation is missing a declared observable;
+    * R302 — an observation binds an unknown variable name;
+    * R303 — a value lies outside the observable's sort.
+    """
+    report = AnalysisReport(subject=f"traces({system.name})")
+    declared = {v.name: v for v in system.variables}
+    for t_index, trace in enumerate(traces):
+        for o_index, obs in enumerate(trace):
+            context = f"trace[{t_index}][{o_index}]"
+            obs_map = obs.as_dict()
+            for name, var in declared.items():
+                if name not in obs_map:
+                    report.add(
+                        _diag(
+                            "R301",
+                            f"observation is missing observable {name!r}",
+                            subject=name,
+                            context=context,
+                        )
+                    )
+                elif not _in_sort(obs_map[name], var.sort):
+                    values = list(sort_values(var.sort))
+                    report.add(
+                        _diag(
+                            "R303",
+                            f"value {obs_map[name]} of {name!r} is outside "
+                            f"sort {var.sort} "
+                            f"(expected {values[0]}..{values[-1]})",
+                            subject=name,
+                            context=context,
+                        )
+                    )
+            for name in sorted(obs_map):
+                if name not in declared:
+                    report.add(
+                        _diag(
+                            "R302",
+                            f"observation binds unknown variable {name!r}",
+                            subject=name,
+                            context=context,
+                        )
+                    )
+    return report.finalize()

@@ -78,7 +78,7 @@ def check_trace_inclusion(
 
     while frontier:
         state_key, nfa_states = frontier.popleft()
-        state = dict(zip(state_names, state_key))
+        state = dict(zip(state_names, state_key, strict=True))
         for input_valuation in inputs:
             next_state = system.step(state, input_valuation)
             observation = system.observe(next_state, input_valuation)

@@ -12,7 +12,7 @@ States are integers; an optional name (typically the observed mode, e.g.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from ..expr.ast import Expr, free_vars
 from ..expr.eval import holds

@@ -9,7 +9,7 @@ guards are stored over unprimed observables, and the variables named in
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..expr.ast import Expr, Var
 from ..expr.printer import to_str

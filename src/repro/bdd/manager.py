@@ -13,7 +13,7 @@ terminals.  This representation keeps the hot paths allocation-free.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 
 class BddManager:

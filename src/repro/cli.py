@@ -7,6 +7,8 @@ Usage examples::
     python -m repro run ModelingASecuritySystem --fsa InDoor --dot out.dot
     python -m repro table1 --budget 30
     python -m repro baseline MealyVendingMachine
+    python -m repro analyze --all-library-systems
+    python -m repro analyze ModelingASecuritySystem --semantic
 """
 
 from __future__ import annotations
@@ -101,6 +103,49 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     )
     print(BaselineRow.HEADER)
     print(out.row.format())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Static analysis over benchmark systems (and optionally traces)."""
+    from .analysis import Severity, check_benchmark, check_traces
+
+    names = list(args.benchmarks)
+    if args.all_library_systems:
+        names = list(benchmark_names())
+    if not names:
+        print(
+            "analyze: name at least one benchmark or pass "
+            "--all-library-systems",
+            file=sys.stderr,
+        )
+        return 2
+    threshold = Severity[args.severity.upper()]
+    worst_findings = 0
+    for name in names:
+        benchmark = get_benchmark(name)
+        report = check_benchmark(benchmark, semantic=args.semantic)
+        if args.trace:
+            from .traces.io import load_csv, load_json
+
+            loader = load_json if args.trace.endswith(".json") else load_csv
+            traces = loader(args.trace)
+            report.extend(check_traces(traces, benchmark.system))
+            report.finalize()
+        shown = report.at_least(threshold)
+        if shown:
+            worst_findings += len(shown)
+            for diagnostic in shown:
+                print(f"{name}: {diagnostic.format()}")
+        else:
+            print(f"{name}: OK ({len(report.diagnostics)} diagnostics)")
+    if worst_findings:
+        print(
+            f"analyze: {worst_findings} finding(s) at severity >= "
+            f"{threshold}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -220,6 +265,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     base.add_argument("--jobs", type=int, default=1, help=_JOBS_HELP)
     base.set_defaults(fn=_cmd_baseline)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically analyze benchmark systems (sort/well-formedness)",
+        description=(
+            "Run the DSL static analyzer over benchmark systems: "
+            "eid-memoised sort inference over the expression DAG, "
+            "next-state width/sort conformance, init/sample range checks, "
+            "FSA spec and reachability checks. Exit status 1 when any "
+            "finding reaches --severity, 0 when clean. See "
+            "docs/static_analysis.md for the diagnostic-code catalogue."
+        ),
+    )
+    analyze.add_argument("benchmarks", nargs="*", help="benchmark names")
+    analyze.add_argument(
+        "--all-library-systems",
+        action="store_true",
+        help="analyze every benchmark in the library",
+    )
+    analyze.add_argument(
+        "--semantic",
+        action="store_true",
+        help=(
+            "enable solver-backed checks: dead transitions (R401), "
+            "overlapping guards (R402), non-exhaustive guards (R403)"
+        ),
+    )
+    analyze.add_argument(
+        "--trace",
+        help="also validate a trace file (.csv or .json) against the system",
+    )
+    analyze.add_argument(
+        "--severity",
+        choices=["info", "warning", "error"],
+        default="info",
+        help="minimum severity that is reported and fails the run",
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
 
     table = sub.add_parser("table1", help="regenerate Table I")
     table.add_argument("benchmarks", nargs="*", help="subset (default: all)")

@@ -182,6 +182,13 @@ class ActiveLearner:
         Learners without a native session run through the stateless
         adapter, which reproduces the pre-session behaviour exactly.
         ``False`` forces a plain ``learn()`` call every iteration.
+    validate:
+        Run the static analyzer over the system up front and over every
+        condition before it is model-checked (the flag rides inside
+        :class:`~repro.core.parallel.OracleSpec`, so pool workers
+        validate too).  ERROR findings raise
+        :class:`~repro.analysis.diagnostics.AnalysisError` with the full
+        diagnostic report.
     """
 
     def __init__(
@@ -200,6 +207,7 @@ class ActiveLearner:
         oracle_start_method: str = "spawn",
         canonical_counterexamples: bool | None = None,
         use_session: bool = True,
+        validate: bool = False,
     ):
         self._system = system
         self._learner = learner
@@ -227,6 +235,7 @@ class ActiveLearner:
             domain_assumption=domain_assumption,
             start_method=oracle_start_method,
             canonical=canonical_counterexamples,
+            validate=validate,
         )
 
     def close(self) -> None:

@@ -99,6 +99,20 @@ class CompletenessOracle:
         domain-knowledge strengthening that guides the checker towards
         valid counterexamples, e.g. the reachable-state formula from
         :func:`repro.mc.explicit.reachable_formula`.
+    validate:
+        Run the static analyzer over the system at construction and over
+        every condition before it is checked, raising
+        :class:`~repro.analysis.diagnostics.AnalysisError` with the full
+        diagnostic report on ERROR findings.  This is the front-door
+        validation boundary: anything that feeds the oracle untrusted
+        specs (the CLI, the evaluation runners, a future job server's
+        workers -- which rebuild their oracles from
+        :class:`~repro.core.parallel.OracleSpec` and therefore inherit
+        the flag) fails fast with named diagnostics instead of a deep
+        engine traceback.  Condition validation reuses one eid-memoised
+        checker across the oracle's lifetime, so re-checking the
+        conditions of successive candidate models costs only the DAG
+        nodes not seen before.
     canonical_counterexamples:
         Return the lexicographically minimal counterexample per query
         instead of the solver's first model.  Canonical counterexamples
@@ -122,6 +136,7 @@ class CompletenessOracle:
         max_strengthenings: int = 100,
         domain_assumption: Expr | None = None,
         canonical_counterexamples: bool = False,
+        validate: bool = False,
     ):
         self._system = system
         self._spurious = spurious_checker
@@ -129,6 +144,48 @@ class CompletenessOracle:
         self._state_only = state_only
         self._max_strengthenings = max_strengthenings
         self._canonical = canonical_counterexamples
+        self._condition_validator = None
+        if validate:
+            from ..analysis.diagnostics import AnalysisError, AnalysisReport
+            from ..analysis.sortcheck import SortChecker
+            from ..analysis.system_check import validate_system
+
+            validate_system(system)
+            scope = {v.name: v for v in system.variables}
+            sort_checker = SortChecker(scope)
+
+            def _validate_condition(condition: Condition) -> None:
+                report = AnalysisReport(
+                    subject=f"condition({condition.state_name})"
+                )
+                bodies = []
+                if condition.assumption is not None:
+                    bodies.append(condition.assumption)
+                bodies.append(condition.conclusion)
+                for body in bodies:
+                    if not body.sort.is_bool():
+                        from ..analysis.diagnostics import Diagnostic, Severity
+                        from ..expr.printer import to_str
+
+                        report.add(
+                            Diagnostic(
+                                code="R201",
+                                severity=Severity.ERROR,
+                                message=(
+                                    f"condition body has sort {body.sort}, "
+                                    "expected a Boolean predicate over one "
+                                    "observation"
+                                ),
+                                subject=to_str(body),
+                            )
+                        )
+                    report.extend(
+                        sort_checker.check(body, allow_primed=False)
+                    )
+                if report.finalize().errors:
+                    raise AnalysisError(report)
+
+            self._condition_validator = _validate_condition
         self._checker = IncrementalConditionChecker(system)
         if domain_assumption is not None:
             self._checker.add_base_constraint(domain_assumption)
@@ -160,6 +217,8 @@ class CompletenessOracle:
         inconclusive-and-truncated, mirroring §III-C's
         valid-but-recorded treatment.
         """
+        if self._condition_validator is not None:
+            self._condition_validator(condition)
         system = self._system
         assumption = (
             system.init

@@ -140,6 +140,11 @@ class OracleSpec:
     state_only: bool = True
     max_strengthenings: int = 100
     domain_assumption: Expr | None = None
+    #: Rebuilt oracles validate their system and every condition through
+    #: the static analyzer.  Because workers rebuild from this spec, a
+    #: validating parent hands out validating workers -- the future job
+    #: server's untrusted-spec front door inherits the check for free.
+    validate: bool = False
     # Test-only crash injection: (worker_index, outcomes_before_exit).
     fault: tuple[int, int] | None = None
 
@@ -163,6 +168,7 @@ class OracleSpec:
             max_strengthenings=self.max_strengthenings,
             domain_assumption=self.domain_assumption,
             canonical_counterexamples=True,
+            validate=self.validate,
         )
 
 
@@ -248,6 +254,7 @@ class ParallelCompletenessOracle:
         max_strengthenings: int = 100,
         domain_assumption: Expr | None = None,
         start_method: str = "spawn",
+        validate: bool = False,
         _fault: tuple[int, int] | None = None,
     ):
         if jobs < 1:
@@ -262,8 +269,15 @@ class ParallelCompletenessOracle:
             state_only=state_only,
             max_strengthenings=max_strengthenings,
             domain_assumption=domain_assumption,
+            validate=validate,
             fault=_fault,
         )
+        if validate:
+            # Fail fast in the parent too: a bad system should surface
+            # at construction, not as an AnalysisError inside a worker.
+            from ..analysis.system_check import validate_system
+
+            validate_system(system)
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list[_Worker | None] = [None] * jobs
         # Two-level sticky affinity (see module docstring).
@@ -565,11 +579,18 @@ def make_oracle(
     domain_assumption: Expr | None = None,
     start_method: str = "spawn",
     canonical: bool | None = None,
+    validate: bool = False,
 ) -> CompletenessOracle | ParallelCompletenessOracle:
     """Build a serial (``jobs=1``) or sharded (``jobs>1``) oracle.
 
     Both variants expose ``check``/``check_all``/``close``, so callers
     can treat the result uniformly and ``close()`` it when done.
+
+    ``validate`` turns on the static-analysis boundary: the system is
+    analyzed up front and every condition before it is checked (in
+    workers too -- the flag travels inside :class:`OracleSpec`), raising
+    :class:`~repro.analysis.diagnostics.AnalysisError` on ERROR
+    findings.
 
     ``canonical`` controls counterexample canonicalisation.  Its default
     follows ``jobs``: the sharded oracle *requires* it (the merge is
@@ -589,6 +610,7 @@ def make_oracle(
             max_strengthenings=max_strengthenings,
             domain_assumption=domain_assumption,
             canonical_counterexamples=bool(canonical),
+            validate=validate,
         )
     if canonical is False:
         raise ValueError(
@@ -606,4 +628,5 @@ def make_oracle(
         max_strengthenings=max_strengthenings,
         domain_assumption=domain_assumption,
         start_method=start_method,
+        validate=validate,
     )

@@ -71,6 +71,7 @@ def run_active(
     guide_with_reachable: bool = True,
     jobs: int = 1,
     use_session: bool = True,
+    validate: bool = True,
 ) -> ActiveRunOutput:
     """Run the active algorithm on one FSA; returns its Table I row.
 
@@ -85,6 +86,11 @@ def run_active(
     learner session; the per-iteration records then carry ``warm_start``
     flags so Table I's ``%Tm`` can be split into cold vs warm shares
     (``result.cold_learn_seconds`` / ``result.warm_learn_seconds``).
+    ``validate`` (default on -- the runners are the untrusted-spec
+    boundary) statically analyzes the system and every extracted
+    condition before any solver sees them, raising
+    :class:`~repro.analysis.diagnostics.AnalysisError` on ERROR
+    findings.
     """
     model_learner = learner or default_learner(benchmark, spec)
     traces = random_traces(
@@ -100,6 +106,7 @@ def run_active(
         guide_with_reachable=guide_with_reachable and spurious_engine == "explicit",
         jobs=jobs,
         use_session=use_session,
+        validate=validate,
     ) as active:
         result = active.run(traces)
     d = transition_match_score(result.model, fsa_witnesses(benchmark, spec))
@@ -136,6 +143,7 @@ def run_random_baseline(
     spurious_engine: str = "explicit",
     guide_with_reachable: bool = True,
     jobs: int = 1,
+    validate: bool = True,
 ) -> BaselineRunOutput:
     """The §IV-C random-sampling baseline for one FSA.
 
@@ -164,6 +172,7 @@ def run_random_baseline(
             if guide_with_reachable and spurious_engine == "explicit"
             else None
         ),
+        validate=validate,
     ) as oracle:
         report = oracle.check_all(extract_conditions(model))
     elapsed = time.monotonic() - start

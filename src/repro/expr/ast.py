@@ -41,7 +41,8 @@ learned automata stay readable.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Union
+from collections.abc import Iterable
+from typing import Union
 
 from .types import BOOL, BoolSort, EnumSort, IntSort, Sort
 

@@ -31,7 +31,7 @@ Semantics notes
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from .ast import (
     Add,
@@ -57,9 +57,10 @@ from .eval import EvalError
 
 Env = Mapping[str, int]
 
-# Compiled functions, keyed by node identity (append-only, like the
-# intern table: each distinct expression is compiled at most once).
-_COMPILED: dict[Expr, Callable[[Env], int]] = {}
+# Compiled functions, keyed by eid (append-only, like the intern table:
+# each distinct expression is compiled at most once; the int key cannot
+# pin node objects or go stale across spawn re-interning).
+_COMPILED: dict[int, Callable[[Env], int]] = {}
 
 # Hoist subterms whose rendered source exceeds this many characters even
 # when used once: keeps generated expressions within CPython's parser
@@ -155,13 +156,13 @@ def _render(node: Expr, emit: Callable[[Expr], str]) -> str:
 
 def compile_expr(expr: Expr) -> Callable[[Env], int]:
     """Compile ``expr`` once into a fast ``fn(env) -> int`` (memoised)."""
-    fn = _COMPILED.get(expr)
+    fn = _COMPILED.get(expr.eid)
     if fn is None:
         source = _generate(expr)
         namespace: dict[str, object] = {"_missing_var": _missing_var}
         exec(compile(source, f"<expr-eid-{expr.eid}>", "exec"), namespace)
         fn = namespace["_fn"]  # type: ignore[assignment]
-        _COMPILED[expr] = fn
+        _COMPILED[expr.eid] = fn
     return fn
 
 

@@ -18,7 +18,7 @@ same (interned) predicate pay no interpretation cost.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from .ast import (
     Add,

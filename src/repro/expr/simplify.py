@@ -23,9 +23,11 @@ from .ast import And, Const, Eq, Expr, FALSE, Not, Or, TRUE, Var, land, lnot, lo
 from .subst import transform
 from .types import EnumSort
 
-# simplify() results, keyed by node identity.  Append-only, like the
-# intern table itself; every entry maps to its (also memoised) fixpoint.
-_SIMPLIFY_MEMO: dict[Expr, Expr] = {}
+# simplify() results, keyed by eid (identity ≡ structure for interned
+# nodes, and integer keys survive spawn re-interning).  Append-only,
+# like the intern table itself; every entry maps its node's (also
+# memoised) fixpoint.
+_SIMPLIFY_MEMO: dict[int, Expr] = {}
 
 
 def simplify(expr: Expr) -> Expr:
@@ -34,14 +36,14 @@ def simplify(expr: Expr) -> Expr:
     Iterates to a fixpoint (flattening can expose new complement pairs),
     so the result is stable under further simplification.
     """
-    cached = _SIMPLIFY_MEMO.get(expr)
+    cached = _SIMPLIFY_MEMO.get(expr.eid)
     if cached is not None:
         return cached
     chain = [expr]
     visited = {expr}
     current = expr
     while True:
-        cached = _SIMPLIFY_MEMO.get(current)
+        cached = _SIMPLIFY_MEMO.get(current.eid)
         if cached is not None:
             current = cached
             break
@@ -52,8 +54,8 @@ def simplify(expr: Expr) -> Expr:
         visited.add(step)
         current = step
     for seen in chain:
-        _SIMPLIFY_MEMO[seen] = current
-    _SIMPLIFY_MEMO[current] = current
+        _SIMPLIFY_MEMO[seen.eid] = current
+    _SIMPLIFY_MEMO[current.eid] = current
     return current
 
 

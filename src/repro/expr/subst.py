@@ -16,7 +16,7 @@ conclusions every strengthening round, which is now a dictionary hit.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from .ast import (
     Add,
@@ -150,9 +150,11 @@ def substitute_values(expr: Expr, env: Mapping[str, int]) -> Expr:
 
 # Global memos for the pure unary priming transforms.  Safe because the
 # transforms are deterministic functions of the (immutable, interned)
-# input node; keyed by identity, which *is* structural equality here.
-_PRIMED_MEMO: dict[Expr, Expr] = {}
-_UNPRIMED_MEMO: dict[Expr, Expr] = {}
+# input node; keyed by eid, which for interned nodes *is* structural
+# equality and (being a plain int) cannot pin stale node objects across
+# spawn re-interning.
+_PRIMED_MEMO: dict[int, Expr] = {}
+_UNPRIMED_MEMO: dict[int, Expr] = {}
 
 
 def _prime_leaf(node: Expr) -> Expr:
@@ -174,19 +176,19 @@ def to_primed(expr: Expr) -> Expr:
     of the paper asserts ``v_t+1 |= p_o``, which the checker encodes as
     ``to_primed(p_o)`` over the one-step unrolling.
     """
-    cached = _PRIMED_MEMO.get(expr)
+    cached = _PRIMED_MEMO.get(expr.eid)
     if cached is None:
         cached = _transform(expr, _prime_leaf, {})
-        _PRIMED_MEMO[expr] = cached
+        _PRIMED_MEMO[expr.eid] = cached
     return cached
 
 
 def to_unprimed(expr: Expr) -> Expr:
     """Rewrite every primed variable ``x'`` back to ``x``."""
-    cached = _UNPRIMED_MEMO.get(expr)
+    cached = _UNPRIMED_MEMO.get(expr.eid)
     if cached is None:
         cached = _transform(expr, _unprime_leaf, {})
-        _UNPRIMED_MEMO[expr] = cached
+        _UNPRIMED_MEMO[expr.eid] = cached
     return cached
 
 

@@ -21,7 +21,8 @@ accumulated set per delta -- exactly the pre-session behaviour.  See
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, runtime_checkable
+from collections.abc import Iterable
+from typing import Protocol, runtime_checkable
 
 from ..automata.nfa import SymbolicNFA
 from ..expr.ast import Var

@@ -216,7 +216,7 @@ class KTailsLearner:
     # ------------------------------------------------------------------
     @staticmethod
     def _guard(event: tuple[int, ...], mode_vars: list[Var]) -> Expr:
-        return land(*(eq(var, value) for var, value in zip(mode_vars, event)))
+        return land(*(eq(var, value) for var, value in zip(mode_vars, event, strict=True)))
 
     @staticmethod
     def _name_states(nfa: SymbolicNFA, mode_vars: list[Var]) -> None:

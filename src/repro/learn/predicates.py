@@ -26,7 +26,7 @@ separating power for single atoms.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..expr.ast import Expr, Var, eq, gt, land, lnot, lor
 from ..expr.eval import holds
@@ -51,7 +51,7 @@ def _int_cut_values(
         by_value.setdefault(value, set()).add(label)
     values = sorted(by_value)
     cuts = []
-    for left, right in zip(values, values[1:]):
+    for left, right in zip(values, values[1:], strict=False):
         if by_value[left] != by_value[right] or len(by_value[left]) > 1:
             cuts.append(left)
     return cuts

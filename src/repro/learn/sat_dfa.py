@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 from ..automata.nfa import SymbolicNFA
 from ..expr.ast import Expr, Var, eq, land
@@ -479,7 +479,7 @@ class SatDfaLearner:
             if src not in ids or dst not in ids:
                 continue
             guard: Expr = land(
-                *(eq(var, value) for var, value in zip(mode_vars, event))
+                *(eq(var, value) for var, value in zip(mode_vars, event, strict=True))
             )
             nfa.add_transition(ids[src], guard, ids[dst])
         return nfa

@@ -292,7 +292,7 @@ class T2MLearner:
         return land(
             *(
                 eq(var, value)
-                for var, value in zip(mode_vars, mode)
+                for var, value in zip(mode_vars, mode, strict=True)
             )
         )
 
@@ -304,7 +304,7 @@ class T2MLearner:
             return mode_vars[0].sort.member_name(mode[0])
         return ",".join(
             f"{name}={_render_value(var, value)}"
-            for name, var, value in zip(mode_names, mode_vars, mode)
+            for name, var, value in zip(mode_names, mode_vars, mode, strict=True)
         )
 
 

@@ -19,7 +19,7 @@ for small ``k`` and for the k-sensitivity ablation.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from ..expr.ast import Expr, eq, land, lor
 from ..system.transition_system import SymbolicSystem, shared_analysis
@@ -121,7 +121,7 @@ class ExplicitReachability:
     def reachable_states(self) -> list[Valuation]:
         self.explore()
         return [
-            Valuation(dict(zip(self._state_names, key))) for key in self._table
+            Valuation(dict(zip(self._state_names, key, strict=True))) for key in self._table
         ]
 
     # ------------------------------------------------------------------
@@ -146,7 +146,7 @@ class ExplicitReachability:
         steps.reverse()
         observations = []
         for state_key, inputs in steps:
-            state_vals = dict(zip(self._state_names, state_key))
+            state_vals = dict(zip(self._state_names, state_key, strict=True))
             observations.append(self._system.observe(state_vals, inputs))
         return observations
 
@@ -168,7 +168,7 @@ class ExplicitReachability:
             if depth == 0:
                 # Initial state: observations start after the first step.
                 continue
-            state_vals = dict(zip(self._state_names, key))
+            state_vals = dict(zip(self._state_names, key, strict=True))
             observation = self._system.observe(state_vals, inputs)
             if predicate(observation):
                 trace = self.witness(state_vals)

@@ -49,7 +49,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..expr.ast import Expr, Var, eq, implies, land, lnot, lor
 from ..expr.types import BOOL

@@ -231,7 +231,7 @@ class BddCompiler:
         mapping: dict[int, int] = {}
         for bits in self._bits.values():
             if bits.next is not None:
-                for nxt, cur in zip(bits.next, bits.current):
+                for nxt, cur in zip(bits.next, bits.current, strict=True):
                     mapping[nxt] = cur
         return mapping
 

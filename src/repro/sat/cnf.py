@@ -8,7 +8,8 @@ and the CDCL solver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, TextIO
+from collections.abc import Iterable
+from typing import TextIO
 
 
 @dataclass

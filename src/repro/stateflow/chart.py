@@ -466,6 +466,6 @@ class Chart:
             )
         names = [var.name for var in self.inputs]
         return [
-            Valuation(dict(zip(names, combo)))
+            Valuation(dict(zip(names, combo, strict=True)))
             for combo in itertools.product(*spaces)
         ]

@@ -78,7 +78,7 @@ def ground_truth_witnesses(
             cursor = parent
         steps.reverse()
         return [
-            system.observe(dict(zip(state_names, key)), used)
+            system.observe(dict(zip(state_names, key, strict=True)), used)
             for key, used in steps
         ]
 

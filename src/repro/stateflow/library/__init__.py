@@ -9,7 +9,7 @@ identically named MathWorks Stateflow example.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable
+from collections.abc import Callable
 
 from ..benchmark import Benchmark
 

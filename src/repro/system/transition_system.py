@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from dataclasses import fields as dataclass_fields
-from typing import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 from ..expr.ast import Expr, Var, eq, free_vars, land
 from ..expr.eval import holds
@@ -68,6 +68,14 @@ class SymbolicSystem:
         Optional list of "interesting" concrete input valuations.  Used by
         the explicit-state engine; guard-boundary values belong here.  If
         empty, the full input space is enumerated when small enough.
+    validate:
+        Opt-in: run the full static analyzer
+        (:func:`repro.analysis.validate_system`) at construction and
+        raise :class:`~repro.analysis.diagnostics.AnalysisError` --
+        carrying every diagnostic, not just the first -- on any ERROR
+        finding.  The default keeps construction cheap; boundaries that
+        accept *untrusted* systems (the oracle specs, ``run_active``,
+        the CLI) turn it on.
     """
 
     name: str
@@ -76,8 +84,14 @@ class SymbolicSystem:
     init_state: Valuation
     next_exprs: dict[Var, Expr]
     input_samples: list[Valuation] = field(default_factory=list)
+    validate: InitVar[bool] = False
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, validate: bool = False) -> None:
+        if validate:
+            # Lazy import: analysis sits above the system layer.
+            from ..analysis.system_check import validate_system
+
+            validate_system(self)
         state_names = {v.name for v in self.state_vars}
         input_names = {v.name for v in self.input_vars}
         if state_names & input_names:
@@ -264,7 +278,7 @@ class SymbolicSystem:
                 )
         names = [var.name for var in self.input_vars]
         return [
-            Valuation(dict(zip(names, combo)))
+            Valuation(dict(zip(names, combo, strict=True)))
             for combo in itertools.product(*spaces)
         ]
 
@@ -306,6 +320,7 @@ def make_system(
     init_state: Mapping[str, int],
     next_exprs: Mapping[Var, Expr],
     input_samples: Iterable[Mapping[str, int]] = (),
+    validate: bool = False,
 ) -> SymbolicSystem:
     """Convenience constructor accepting plain mappings."""
     return SymbolicSystem(
@@ -315,4 +330,5 @@ def make_system(
         init_state=Valuation(dict(init_state)),
         next_exprs=dict(next_exprs),
         input_samples=[Valuation(dict(s)) for s in input_samples],
+        validate=validate,
     )

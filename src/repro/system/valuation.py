@@ -10,7 +10,7 @@ for the hash, ordered iteration/equality and the pickle contract.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 
 class Valuation(Mapping[str, int]):

@@ -8,7 +8,7 @@ randomly sampled inputs") and the random-sampling baseline (§IV-C).
 from __future__ import annotations
 
 import random
-from typing import Callable
+from collections.abc import Callable
 
 from ..system.transition_system import SymbolicSystem
 from .trace import Trace, TraceSet

@@ -43,7 +43,7 @@ def read_csv(src: TextIO) -> TraceSet:
             continue
         index, step = int(row[0]), int(row[1])
         values = Valuation(
-            {name: int(value) for name, value in zip(variables, row[2:])}
+            {name: int(value) for name, value in zip(variables, row[2:], strict=False)}
         )
         grouped.setdefault(index, []).append((step, values))
     traces = TraceSet()

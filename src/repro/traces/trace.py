@@ -9,7 +9,7 @@ languages must be prefix-closed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from ..system.valuation import Valuation
 

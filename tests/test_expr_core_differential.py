@@ -53,7 +53,7 @@ def _assert_reports_equal(actual: dict, expected: dict, context: str):
         f"{context}: outcome count"
     )
     for i, (act, exp) in enumerate(
-        zip(actual["outcomes"], expected["outcomes"])
+        zip(actual["outcomes"], expected["outcomes"], strict=True)
     ):
         assert act == exp, f"{context}: outcome [{i}]"
     assert actual["alpha"] == expected["alpha"], f"{context}: alpha"

@@ -143,20 +143,24 @@ def structural_clone(expr: Expr) -> Expr:
     if isinstance(expr, Const):
         return Const(expr.value, expr.sort)
     if isinstance(expr, Not):
+        # contract: ignore[C001] this helper tests the intern table itself
         return Not(structural_clone(expr.arg))
     if isinstance(expr, (And, Or)):
         return type(expr)(tuple(structural_clone(a) for a in expr.args))
     if isinstance(expr, (Implies, Iff, Eq, Lt, Le)):
         return type(expr)(structural_clone(expr.lhs), structural_clone(expr.rhs))
     if isinstance(expr, Add):
+        # contract: ignore[C001] this helper tests the intern table itself
         return Add(tuple(structural_clone(a) for a in expr.args), expr.sort)
     if isinstance(expr, (Sub, Mul)):
         return type(expr)(
             structural_clone(expr.lhs), structural_clone(expr.rhs), expr.sort
         )
     if isinstance(expr, Neg):
+        # contract: ignore[C001] this helper tests the intern table itself
         return Neg(structural_clone(expr.arg), expr.sort)
     if isinstance(expr, Ite):
+        # contract: ignore[C001] this helper tests the intern table itself
         return Ite(
             structural_clone(expr.cond),
             structural_clone(expr.then),
@@ -225,6 +229,7 @@ class TestSexprRoundTrip:
 
     def test_fixpoint_reached_from_raw_nodes(self):
         a, b = VARS[0], VARS[1]
+        # contract: ignore[C001] deliberately bypasses land() to test reload
         raw = And((a, a, b))  # raw node: land() would have deduplicated
         normalised = loads(dumps(raw))
         assert normalised is land(a, b)

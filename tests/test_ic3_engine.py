@@ -136,7 +136,7 @@ class TestIc3Engine:
             for combo in itertools.product(
                 *(sort_values(v.sort) for v in system.state_vars)
             ):
-                engine.prove_unreachable(dict(zip(system.state_names, combo)))
+                engine.prove_unreachable(dict(zip(system.state_names, combo, strict=True)))
             for frame in engine._frames:
                 assert len(frame) == len(set(frame))
 
@@ -154,7 +154,7 @@ class TestIc3Engine:
         ).system
         reach = shared_reachability(system)
         state = dict(
-            zip(system.state_names, (0, 0, 0, 42))
+            zip(system.state_names, (0, 0, 0, 42), strict=True)
         )  # a latched raw reading outside the 25 sampled values
         assert not reach.is_state_reachable(state)
         sampled = shared_ic3(system)

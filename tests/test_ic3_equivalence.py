@@ -49,19 +49,19 @@ def _probe_states(system, reach):
     """Initial + shallow + deep reachable states, plus unreachable ones."""
     table = sorted(reach._table.items(), key=lambda kv: kv[1][0])
     names = system.state_names
-    states = [Valuation(dict(zip(names, key))) for key, _ in table[:3]]
+    states = [Valuation(dict(zip(names, key, strict=True))) for key, _ in table[:3]]
     probe_depth = min(reach.diameter, _DEEP_PROBE_DEPTH)
     deep_key = next(
         key for key, (depth, _p, _i) in table if depth == probe_depth
     )
     if deep_key not in {key for key, _ in table[:3]}:
-        states.append(Valuation(dict(zip(names, deep_key))))
+        states.append(Valuation(dict(zip(names, deep_key, strict=True))))
     reachable_keys = {key for key, _ in table}
     spaces = [sort_values(var.sort) for var in system.state_vars]
     unreachable = []
     for combo in itertools.product(*spaces):
         if combo not in reachable_keys:
-            unreachable.append(Valuation(dict(zip(names, combo))))
+            unreachable.append(Valuation(dict(zip(names, combo, strict=True))))
             if len(unreachable) >= 3:
                 break
     return states, unreachable

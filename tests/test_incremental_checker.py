@@ -120,7 +120,7 @@ class TestSolverReuse:
                 lnot(land(cycles.eq(v_t["cycles"]), phase.eq(v_t["phase"]))),
             )
         # Lemmas accumulated in earlier rounds are still loaded later.
-        assert all(b >= a for a, b in zip(learned_seen, learned_seen[1:]))
+        assert all(b >= a for a, b in zip(learned_seen, learned_seen[1:], strict=False))
 
     def test_oracle_strengthening_reuses_one_solver(self):
         """End-to-end: the completeness oracle's spurious-exclusion loop

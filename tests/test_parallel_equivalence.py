@@ -76,7 +76,7 @@ def library_conditions(system) -> list[Condition]:
 def assert_reports_identical(parallel: OracleReport, serial: OracleReport):
     """Field-for-field equality, with targeted asserts for diagnosis."""
     assert len(parallel.outcomes) == len(serial.outcomes), "report length"
-    for i, (par, ser) in enumerate(zip(parallel.outcomes, serial.outcomes)):
+    for i, (par, ser) in enumerate(zip(parallel.outcomes, serial.outcomes, strict=True)):
         assert par.condition == ser.condition, f"[{i}] ordering"
         assert par.holds == ser.holds, f"[{i}] verdict"
         assert par.counterexample == ser.counterexample, f"[{i}] counterexample"

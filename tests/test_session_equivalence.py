@@ -194,7 +194,7 @@ def test_active_loop_session_equals_stateless():
     assert with_session.session_mode and not without_session.session_mode
     assert with_session.iterations == without_session.iterations
     assert with_session.alpha == without_session.alpha
-    for ours, theirs in zip(with_session.records, without_session.records):
+    for ours, theirs in zip(with_session.records, without_session.records, strict=True):
         assert ours.num_states == theirs.num_states
         assert ours.num_transitions == theirs.num_transitions
         assert ours.alpha == theirs.alpha

@@ -27,7 +27,7 @@ def _all_state_valuations(system):
             spaces.append(list(range(var.sort.cardinality)))
     names = system.state_names
     return [
-        Valuation(dict(zip(names, combo)))
+        Valuation(dict(zip(names, combo, strict=True)))
         for combo in itertools.product(*spaces)
     ]
 
