@@ -41,8 +41,12 @@ from .kinduction import (
 from .symbolic import (
     BddCompiler,
     BddGateBuilder,
+    SharedBddContext,
     SymbolicReachability,
     SymbolicSpuriousness,
+    TransitionPartition,
+    build_transition_partition,
+    shared_bdd_context,
     shared_symbolic_reachability,
 )
 from .spurious import (
@@ -81,13 +85,17 @@ __all__ = [
     "KInductionResult",
     "KInductionSpuriousness",
     "SPURIOUS_ENGINES",
+    "SharedBddContext",
     "SpuriousVerdict",
     "SpuriousnessChecker",
     "SymbolicReachability",
     "SymbolicSpuriousness",
     "StateSpaceLimitExceeded",
+    "TransitionPartition",
     "build_spurious_checker",
+    "build_transition_partition",
     "reachable_formula",
+    "shared_bdd_context",
     "shared_ic3",
     "shared_kinduction",
     "shared_reachability",

@@ -17,6 +17,16 @@ the same depth-bounded questions the Fig. 3b spuriousness check needs --
 ``SpuriousnessChecker`` protocol, cross-checked against the explicit
 engine in the test suite.
 
+The transition relation is **partitioned**: instead of one monolithic
+compiled ``R``, the context keeps a conjunctive partition -- one cluster
+per state variable's next-state constraint plus the domain constraints,
+small clusters merged up to a node-count threshold
+(:func:`build_transition_partition`) -- and the image step conjoins the
+clusters in a greedy IWLS95-style order, quantifying each current/input
+bit out as soon as no remaining cluster's support mentions it.  The
+monolithic path is retained (``image_once(..., partitioned=False)``)
+and the test suite proves both produce bit-identical reachable sets.
+
 The arithmetic reuses the *same* word-level algorithms as the CNF
 bit-blaster (:mod:`repro.smt.bitvec`): those functions are generic over
 a gate-builder interface, and :class:`BddGateBuilder` implements it over
@@ -24,12 +34,16 @@ BDD nodes.  One implementation of ripple-carry addition, signed
 comparison etc. therefore serves both engines.
 
 Caching mirrors the SAT side's clause reuse: every engine instance over
-one system shares a :class:`SharedBddContext` (compiled transition
-relation plus per-frontier image memo, see :func:`shared_bdd_context`),
+one system shares a :class:`SharedBddContext` (transition partition
+plus per-frontier image memo, see :func:`shared_bdd_context`),
 exploration is lazy (queries peel only the onion layers they need), and
 variable orderings are registered per observable *signature* so
 same-shaped systems agree on their bit layout
-(:func:`observable_signature`).
+(:func:`observable_signature`).  Long-lived BDDs (compiler memos,
+clusters, cached images, onion layers) are pinned with the manager's
+``protect`` so dynamic reordering (Rudell sifting, armed by the
+context's ``reorder_threshold``) can fire between image steps without
+invalidating them.
 """
 
 from __future__ import annotations
@@ -54,6 +68,7 @@ from ..expr.ast import (
     Or,
     Sub,
     Var,
+    eq,
     interval,
 )
 from ..expr.types import BoolSort, EnumSort, IntSort
@@ -246,11 +261,16 @@ class BddCompiler:
         return bits.current
 
     # ------------------------------------------------------------------
-    def domain_bdd(self) -> int:
-        """Range constraints for every variable copy used in R."""
+    def domain_conjuncts(self) -> list[int]:
+        """Range constraints, one conjunct per constrained variable copy.
+
+        Kept separate (rather than pre-conjoined) so the partitioned
+        transition relation can treat each as its own cluster; the
+        monolithic path conjoins them via :meth:`domain_bdd`.
+        """
         gates = self.gates
-        constraints: list[int] = []
-        for name, bits in self._bits.items():
+        conjuncts: list[int] = []
+        for bits in self._bits.values():
             for indices in (bits.current, bits.next):
                 if indices is None:
                     continue
@@ -263,9 +283,17 @@ class BddCompiler:
                 vec = BitVec([self.manager.var(i) for i in indices])
                 lo_vec = const_bitvec(bits.lo, bits.width, gates)
                 hi_vec = const_bitvec(bits.hi, bits.width, gates)
-                constraints.append(signed_leq(lo_vec, vec, gates))
-                constraints.append(signed_leq(vec, hi_vec, gates))
-        return self.manager.conjoin(constraints)
+                conjuncts.append(
+                    gates.and_gate(
+                        signed_leq(lo_vec, vec, gates),
+                        signed_leq(vec, hi_vec, gates),
+                    )
+                )
+        return conjuncts
+
+    def domain_bdd(self) -> int:
+        """Range constraints for every variable copy used in R."""
+        return self.manager.conjoin(self.domain_conjuncts())
 
     def state_domain_current(self) -> int:
         gates = self.gates
@@ -290,7 +318,8 @@ class BddCompiler:
         if cached is not None:
             return cached
         node = self._compile_bool(expr)
-        self._bool_memo[expr.eid] = node
+        # Pin: memo entries must survive dynamic reordering.
+        self._bool_memo[expr.eid] = self.manager.protect(node)
         return node
 
     def _compile_bool(self, expr: Expr) -> int:
@@ -343,6 +372,8 @@ class BddCompiler:
         if cached is not None:
             return cached
         vec = self._compile_int(expr)
+        for bit in vec.bits:
+            self.manager.protect(bit)
         self._int_memo[expr.eid] = vec
         return vec
 
@@ -429,34 +460,172 @@ def _width_for(var: Var, lo: int, hi: int) -> int:
     return width_for_range(lo, hi)
 
 
+@dataclass(frozen=True)
+class TransitionPartition:
+    """An ordered conjunctive partition of R with a quantification schedule.
+
+    ``clusters[i]`` is conjoined at step ``i`` of the image computation
+    and ``schedule[i]`` is the set of quantifiable variables eliminated
+    *fused into that very conjunction* (their last use is cluster ``i``);
+    ``immediate`` holds the quantifiable variables no cluster mentions,
+    eliminated from the frontier before any cluster is touched.
+    """
+
+    clusters: tuple[int, ...]
+    schedule: tuple[frozenset[int], ...]
+    immediate: frozenset[int]
+    cluster_sizes: tuple[int, ...]
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+
+def build_transition_partition(
+    compiler: BddCompiler,
+    system: SymbolicSystem,
+    cluster_threshold: int = 400,
+) -> TransitionPartition:
+    """Compile R as merged conjunctive clusters plus an IWLS95-style order.
+
+    One conjunct per state variable's next-state constraint
+    (``x' = f(X, inputs')``) plus one per domain range constraint;
+    adjacent small conjuncts are merged while the merged BDD stays under
+    ``cluster_threshold`` nodes.  Clusters are then ordered greedily:
+    repeatedly pick the cluster releasing the most quantifiable
+    variables (variables no *remaining* cluster mentions), tie-breaking
+    towards small supports, and derive the last-use quantification
+    schedule from that order.
+    """
+    manager = compiler.manager
+    conjuncts: list[int] = [
+        compiler.compile_bool(eq(var.prime(), expr))
+        for var, expr in sorted(
+            system.next_exprs.items(), key=lambda kv: kv[0].name
+        )
+    ]
+    conjuncts.extend(compiler.domain_conjuncts())
+    conjuncts = [c for c in conjuncts if c != manager.TRUE]
+
+    # Greedy adjacent merge under the node-count threshold.
+    clusters: list[int] = []
+    accum: int | None = None
+    for conjunct in conjuncts:
+        if accum is None:
+            accum = conjunct
+            continue
+        merged = manager.apply_and(accum, conjunct)
+        if manager.size(merged) <= cluster_threshold:
+            accum = merged
+        else:
+            clusters.append(accum)
+            accum = conjunct
+    if accum is not None:
+        clusters.append(accum)
+
+    quantifiable = frozenset(compiler.current_and_input_indices)
+    supports = [manager.support(c) & quantifiable for c in clusters]
+    immediate = quantifiable - frozenset().union(*supports, frozenset())
+
+    # Greedy ordering: maximise variables released per step.
+    order: list[int] = []
+    remaining = set(range(len(clusters)))
+    placed_vars: set[int] = set()
+    while remaining:
+
+        def released(i: int) -> int:
+            others: set[int] = set()
+            for j in remaining:
+                if j != i:
+                    others |= supports[j]
+            return len((supports[i] | placed_vars) - others)
+
+        best = min(remaining, key=lambda i: (-released(i), len(supports[i]), i))
+        order.append(best)
+        placed_vars |= supports[best]
+        remaining.discard(best)
+
+    ordered = [clusters[i] for i in order]
+    ordered_supports = [supports[i] for i in order]
+    # Last-use schedule: quantify a variable with the final cluster
+    # whose support mentions it.
+    last_use = {
+        v: max(i for i, sup in enumerate(ordered_supports) if v in sup)
+        for v in quantifiable - immediate
+    }
+    schedule = tuple(
+        frozenset(v for v, last in last_use.items() if last == i)
+        for i in range(len(ordered))
+    )
+    return TransitionPartition(
+        clusters=tuple(ordered),
+        schedule=schedule,
+        immediate=immediate,
+        cluster_sizes=tuple(manager.size(c) for c in ordered),
+    )
+
+
 class SharedBddContext:
     """Per-system BDD state shared by every reachability engine over it.
 
-    Owns the compiler/manager, the compiled transition relation and a
+    Owns the compiler/manager, the partitioned transition relation and a
     per-step **image cache** keyed on the frontier BDD's node id: the
     relational product ``∃ current, inputs: R ∧ frontier`` (renamed back
     to current bits) is computed once per distinct frontier and replayed
     for free afterwards.  A second engine instance -- or a re-exploration
     after the first -- walks the whole onion at dictionary-lookup cost,
     mirroring how the SAT engines replay learned clauses.
+
+    The image step conjoins the partition's clusters in scheduled order,
+    quantifying variables at their last use (``partitioned=True``, the
+    default); ``partitioned=False`` restores the monolithic relational
+    product.  Every long-lived node (clusters, monolithic R, cached
+    frontiers/images) is pinned with ``manager.protect`` so sifting --
+    armed via ``reorder_threshold`` and triggered at the safe point
+    after each image -- cannot invalidate it; the manager clears its
+    operation caches on every reorder.
     """
 
-    def __init__(self, system: SymbolicSystem):
+    def __init__(
+        self,
+        system: SymbolicSystem,
+        *,
+        partitioned: bool = True,
+        cluster_threshold: int = 400,
+        reorder_threshold: int | None = 150_000,
+    ):
         self._system = system
         self.compiler = BddCompiler(system)
         self.manager = self.compiler.manager
+        self.partitioned = partitioned
+        self.cluster_threshold = cluster_threshold
+        if reorder_threshold is not None:
+            self.manager.enable_auto_reorder(reorder_threshold)
         self._trans: int | None = None
+        self._partition: TransitionPartition | None = None
         self._image_cache: dict[int, int] = {}
         self.image_computations = 0
         self.image_hits = 0
 
     def trans_bdd(self) -> int:
+        """The monolithic compiled ``R`` (kept for the reference path)."""
         if self._trans is None:
-            self._trans = self.manager.apply_and(
-                self.compiler.compile_bool(self._system.trans),
-                self.compiler.domain_bdd(),
+            self._trans = self.manager.protect(
+                self.manager.apply_and(
+                    self.compiler.compile_bool(self._system.trans),
+                    self.compiler.domain_bdd(),
+                )
             )
         return self._trans
+
+    def partition(self) -> TransitionPartition:
+        if self._partition is None:
+            self._partition = build_transition_partition(
+                self.compiler, self._system, self.cluster_threshold
+            )
+            for cluster in self._partition.clusters:
+                self.manager.protect(cluster)
+        return self._partition
 
     def image(self, frontier: int) -> int:
         """Post-image of ``frontier`` over current bits (memoised)."""
@@ -464,14 +633,43 @@ class SharedBddContext:
         if cached is not None:
             self.image_hits += 1
             return cached
-        compiler, manager = self.compiler, self.manager
-        image_next = manager.and_exists(
-            self.trans_bdd(), frontier, compiler.current_and_input_indices
-        )
-        image = manager.rename(image_next, compiler.rename_next_to_current)
+        image = self.image_once(frontier, partitioned=self.partitioned)
+        manager = self.manager
+        manager.protect(frontier)
+        manager.protect(image)
         self._image_cache[frontier] = image
         self.image_computations += 1
+        # Safe point: no structural recursion in flight, everything
+        # long-lived is pinned.
+        manager.maybe_reorder()
         return image
+
+    def image_once(self, frontier: int, *, partitioned: bool) -> int:
+        """One uncached image computation via either pipeline.
+
+        Both paths compute ``∃ current, inputs: R ∧ frontier`` renamed
+        to current bits; canonicity makes their results bit-identical,
+        which the differential tests assert on every library system.
+        """
+        compiler, manager = self.compiler, self.manager
+        if partitioned:
+            part = self.partition()
+            current = frontier
+            if part.immediate:
+                current = manager.exists(current, part.immediate)
+            for cluster, release in zip(
+                part.clusters, part.schedule, strict=True
+            ):
+                if release:
+                    current = manager.and_exists(current, cluster, release)
+                else:
+                    current = manager.apply_and(current, cluster)
+            image_next = current
+        else:
+            image_next = manager.and_exists(
+                self.trans_bdd(), frontier, compiler.current_and_input_indices
+            )
+        return manager.rename(image_next, compiler.rename_next_to_current)
 
 
 def shared_bdd_context(system: SymbolicSystem) -> SharedBddContext:
@@ -505,6 +703,10 @@ class SymbolicReachability:
     def _start(self) -> None:
         if not self._layers:
             init = self._compiler.state_bdd(self._system.init_state)
+            # Layers and the partial union are pinned so dynamic
+            # reordering between image steps cannot invalidate them.
+            self._manager.protect(init)
+            self._manager.protect(init)  # one pin as layer, one as partial
             self._layers = [init]
             self._partial = init
 
@@ -516,11 +718,15 @@ class SymbolicReachability:
         manager = self._manager
         image = self._ctx.image(self._layers[-1])
         fresh = manager.apply_and(image, manager.apply_not(self._partial))
-        self._partial = manager.apply_or(self._partial, image)
+        partial = manager.apply_or(self._partial, image)
+        if partial != self._partial:
+            manager.protect(partial)
+            manager.unprotect(self._partial)
+            self._partial = partial
         if fresh == manager.FALSE:
             self._reached = self._partial
             return False
-        self._layers.append(fresh)
+        self._layers.append(manager.protect(fresh))
         return True
 
     def explore(self) -> None:
