@@ -15,10 +15,12 @@ from .compare import (
 )
 from .nfa import SymbolicNFA, Transition
 from .render import guard_label, to_dot, to_text
+from .splice import ModelSplicer, run_windows
 
 __all__ = [
     "InclusionResult",
     "MatchReport",
+    "ModelSplicer",
     "SymbolicNFA",
     "Transition",
     "TransitionWitness",
@@ -26,6 +28,7 @@ __all__ = [
     "guard_label",
     "minimize_bisimulation",
     "nfa_isomorphic",
+    "run_windows",
     "to_dot",
     "to_text",
     "transition_match_report",

@@ -110,6 +110,11 @@ class SymbolicNFA:
         self._check_state(state)
         return self._names[state] or f"q{state}"
 
+    def raw_state_name(self, state: int) -> str | None:
+        """The assigned name, or None if the state was never named."""
+        self._check_state(state)
+        return self._names[state]
+
     def set_state_name(self, state: int, name: str) -> None:
         self._check_state(state)
         self._names[state] = name

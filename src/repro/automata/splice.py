@@ -1,0 +1,251 @@
+"""Model unification by overlap splicing (companion paper construction).
+
+Per-segment learning (:mod:`repro.learn.segmented`) produces one small
+NFA per overlapping trace segment.  This module unifies them:
+
+1. Take the disjoint union of one *copy* of the per-segment model per
+   segment occurrence (copies are virtual — only the quotient is ever
+   materialised).
+2. For each pair of consecutive segments in a chain (= one original
+   long trace), align the ``overlap + 1`` run positions that both
+   segments explain: after reading ``j`` of the shared events the
+   previous copy is in its run state at position ``L_prev − w + j`` and
+   the current copy at position ``j``.  Union-find merges every aligned
+   pair, splicing the copies into one machine that admits the whole
+   trace.
+3. Optionally merge states whose *learned names* agree globally (e.g.
+   two occurrences of mode ``On`` in non-adjacent segments), excluding
+   the initial pseudo-states of non-chain-first copies — those stand
+   for "somewhere mid-trace", not for a mode, and must only merge via
+   the positional alignment of step 2.
+4. Emit the quotient, prune states unreachable from the unified
+   initial states, and (optionally) run the existing bisimulation
+   minimisation.
+
+Merging NFA states only ever grows the language, so the unified model
+admits every input trace (soundness).  For learners whose runs are
+deterministic after the first observation — T2M without guard
+synthesis/initial-merging, over an explicit variable basis — the
+result is exactly the minimised monolithic model; see
+``docs/long_traces.md`` for the precision-loss cases.
+
+Everything here is deterministic in the *sequence of calls*: the
+quotient depends only on segment order, never on which process learned
+a segment or when it finished.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..expr.ast import Expr
+from .minimize import minimize_bisimulation
+from .nfa import SymbolicNFA
+
+#: Run window: state sets at ``overlap + 1`` consecutive run positions.
+RunWindow = Sequence[frozenset[int]]
+
+
+def run_windows(
+    model: SymbolicNFA, segment, overlap: int
+) -> tuple[tuple[frozenset[int], ...], tuple[frozenset[int], ...]]:
+    """The (entry, exit) run windows a splicer needs for one segment.
+
+    ``entry`` holds the run state sets at positions ``0..overlap`` and
+    ``exit`` at the last ``overlap + 1`` positions, for ``model`` run
+    on the very segment it was learned from (so the run never dies).
+    Computed next to the learner — in a worker, for parallel runs — so
+    the splicing parent touches only O(overlap) state sets per segment.
+    """
+    run = [frozenset(states) for states in model.run(segment)]
+    if not run[-1]:
+        raise ValueError(
+            "segment model does not admit its own segment; refusing to splice"
+        )
+    width = min(overlap + 1, len(run))
+    return tuple(run[:width]), tuple(run[-width:])
+
+
+class ModelSplicer:
+    """Incrementally unify per-segment models into one NFA.
+
+    Usage::
+
+        splicer = ModelSplicer(overlap)
+        for trace in long_traces:
+            splicer.begin_chain()
+            for segment in segment_trace(trace, length, overlap):
+                model = learn(segment)
+                entry, exit_ = run_windows(model, segment, overlap)
+                splicer.add_segment(model, entry, exit_)
+        unified = splicer.finish()
+
+    The same model object may be passed for many occurrences (the
+    segment-dedup memo does exactly that); each occurrence still gets
+    its own virtual copy of the states.
+    """
+
+    def __init__(self, overlap: int, merge_named: bool = True):
+        if overlap < 0:
+            raise ValueError(f"overlap must be >= 0, got {overlap}")
+        self.overlap = overlap
+        self.merge_named = merge_named
+        # Union-find over global state ids; occurrence i's local state s
+        # has global id _occ_base[i] + s.
+        self._parent: list[int] = []
+        self._occ_models: list[SymbolicNFA] = []
+        self._occ_base: list[int] = []
+        self._occ_chain_first: list[bool] = []
+        self._prev: tuple[int, tuple[frozenset[int], ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # union-find
+    # ------------------------------------------------------------------
+    def _find(self, x: int) -> int:
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def _union(self, a: int, b: int) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            # Smaller id wins so class representatives — and hence the
+            # final state order — depend only on insertion order.
+            if rb < ra:
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def begin_chain(self) -> None:
+        """Start splicing a new original trace (chain of segments)."""
+        self._prev = None
+
+    def add_segment(
+        self,
+        model: SymbolicNFA,
+        entry: RunWindow,
+        exit_: RunWindow,
+    ) -> None:
+        """Append one segment occurrence to the current chain.
+
+        ``entry``/``exit_`` are the run windows from :func:`run_windows`
+        (entry positions ``0..w``, exit positions ``L−w..L``).
+        """
+        base = len(self._parent)
+        self._parent.extend(range(base, base + model.num_states))
+        self._occ_models.append(model)
+        self._occ_base.append(base)
+        self._occ_chain_first.append(self._prev is None)
+        if self._prev is not None:
+            prev_base, prev_exit = self._prev
+            width = min(len(prev_exit), len(entry))
+            for j in range(width):
+                aligned = sorted(
+                    {prev_base + s for s in prev_exit[len(prev_exit) - width + j]}
+                    | {base + s for s in entry[j]}
+                )
+                for other in aligned[1:]:
+                    self._union(aligned[0], other)
+        self._prev = (base, tuple(frozenset(states) for states in exit_))
+
+    # ------------------------------------------------------------------
+    # quotient
+    # ------------------------------------------------------------------
+    def finish(self, minimize: bool = True) -> SymbolicNFA:
+        """Build the unified model from everything added so far."""
+        if not self._occ_models:
+            raise ValueError("no segments were added")
+        if self.merge_named:
+            self._merge_named_states()
+
+        # Quotient classes, ordered by their minimal global id so the
+        # result is independent of union-find internals.
+        roots: list[int] = []
+        root_index: dict[int, int] = {}
+        names: list[str | None] = []
+        initial: set[int] = set()
+        for occ, model in enumerate(self._occ_models):
+            base = self._occ_base[occ]
+            chain_first = self._occ_chain_first[occ]
+            for state in model.states:
+                root = self._find(base + state)
+                if root not in root_index:
+                    root_index[root] = len(roots)
+                    roots.append(root)
+                    names.append(None)
+                cls = root_index[root]
+                if names[cls] is None:
+                    names[cls] = model.raw_state_name(state)
+                if chain_first and state in model.initial_states:
+                    initial.add(cls)
+
+        # Distinct quotient edges, in first-seen order.  Guards are
+        # interned Exprs (identity hash), so the dedup set is O(1) per
+        # edge and identical segments contribute each edge once.
+        edges: list[tuple[int, Expr, int]] = []
+        edge_seen: set[tuple[int, Expr, int]] = set()
+        for occ, model in enumerate(self._occ_models):
+            base = self._occ_base[occ]
+            for transition in model.transitions:
+                key = (
+                    root_index[self._find(base + transition.src)],
+                    transition.guard,
+                    root_index[self._find(base + transition.dst)],
+                )
+                if key not in edge_seen:
+                    edge_seen.add(key)
+                    edges.append(key)
+
+        # Prune classes unreachable from the unified initial states.
+        adjacency: dict[int, list[int]] = {}
+        for src, _guard, dst in edges:
+            adjacency.setdefault(src, []).append(dst)
+        reachable: set[int] = set()
+        frontier = sorted(initial)
+        while frontier:
+            cls = frontier.pop()
+            if cls in reachable:
+                continue
+            reachable.add(cls)
+            frontier.extend(adjacency.get(cls, ()))
+
+        unified = SymbolicNFA()
+        renumber: dict[int, int] = {}
+        for cls in range(len(roots)):
+            if cls in reachable:
+                renumber[cls] = unified.add_state(
+                    names[cls], initial=cls in initial
+                )
+        for src, guard, dst in edges:
+            if src in reachable and dst in reachable:
+                unified.add_transition(renumber[src], guard, renumber[dst])
+        if minimize:
+            unified = minimize_bisimulation(unified)
+        return unified
+
+    def _merge_named_states(self) -> None:
+        """Union states whose learned names agree (step 3 above).
+
+        Initial states of non-chain-first occurrences are excluded:
+        they model "resume mid-trace", not a mode, and may only merge
+        positionally.  Chain-first initial states *do* merge across
+        chains — every chain starts in the same real initial state.
+        """
+        by_name: dict[str, int] = {}
+        for occ, model in enumerate(self._occ_models):
+            base = self._occ_base[occ]
+            chain_first = self._occ_chain_first[occ]
+            for state in model.states:
+                name = model.raw_state_name(state)
+                if name is None:
+                    continue
+                if not chain_first and state in model.initial_states:
+                    continue
+                anchor = by_name.setdefault(name, base + state)
+                self._union(anchor, base + state)

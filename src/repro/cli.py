@@ -52,6 +52,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spurious_engine=args.engine,
         jobs=args.jobs,
         use_session=args.session,
+        segment_length=args.segment_length,
+        segment_overlap=args.segment_overlap,
     )
     state_names = [v.name for v in benchmark.system.state_vars]
     print(TableRow.HEADER)
@@ -126,9 +128,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         benchmark = get_benchmark(name)
         report = check_benchmark(benchmark, semantic=args.semantic)
         if args.trace:
-            from .traces.io import load_csv, load_json
+            from .traces.io import load_csv, load_json, load_jsonl
 
-            loader = load_json if args.trace.endswith(".json") else load_csv
+            if args.trace.endswith(".jsonl"):
+                loader = load_jsonl
+            elif args.trace.endswith(".json"):
+                loader = load_json
+            else:
+                loader = load_csv
             traces = loader(args.trace)
             report.extend(check_traces(traces, benchmark.system))
             report.finalize()
@@ -166,6 +173,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
                 spurious_engine=args.engine,
                 jobs=args.jobs,
                 use_session=args.session,
+                segment_length=args.segment_length,
+                segment_overlap=args.segment_overlap,
             )
             active_rows.append(out.row)
             print(out.row.format(), file=sys.stderr, flush=True)
@@ -203,6 +212,15 @@ _ENGINE_HELP = (
     "never inconclusive, no k to choose, prints the proved inductive "
     "invariant) or 'none' (treat every counterexample as valid). See "
     "docs/engines.md."
+)
+
+
+_SEGMENT_HELP = (
+    "long-trace mode: slice every trace into overlapping segments of "
+    "this many events, learn each distinct segment once (memoised, and "
+    "fanned out over --jobs workers), then unify the per-segment models "
+    "by overlap splicing (default: off = monolithic learning). See "
+    "docs/long_traces.md."
 )
 
 
@@ -250,6 +268,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help=_SESSION_HELP,
     )
+    run.add_argument(
+        "--segment-length", type=int, default=None, help=_SEGMENT_HELP
+    )
+    run.add_argument(
+        "--segment-overlap",
+        type=int,
+        default=1,
+        help=(
+            "events shared between consecutive segments (default 1; "
+            "requires --segment-length)"
+        ),
+    )
     run.add_argument("--dot", help="write learned model as Graphviz DOT")
     run.add_argument("--invariants", action="store_true")
     run.set_defaults(fn=_cmd_run)
@@ -294,7 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--trace",
-        help="also validate a trace file (.csv or .json) against the system",
+        help=(
+            "also validate a trace file (.csv, .json or .jsonl event log) "
+            "against the system"
+        ),
     )
     analyze.add_argument(
         "--severity",
@@ -322,6 +355,18 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help=_SESSION_HELP,
+    )
+    table.add_argument(
+        "--segment-length", type=int, default=None, help=_SEGMENT_HELP
+    )
+    table.add_argument(
+        "--segment-overlap",
+        type=int,
+        default=1,
+        help=(
+            "events shared between consecutive segments (default 1; "
+            "requires --segment-length)"
+        ),
     )
     table.set_defaults(fn=_cmd_table1)
 

@@ -39,6 +39,7 @@ from .parallel import (
     SystemSpec,
     make_oracle,
 )
+from .pool import BatchRun, PersistentWorkerPool, PoolWorker
 from .refine import (
     AugmentResult,
     augment_traces,
@@ -62,9 +63,12 @@ __all__ = [
     "ConditionOutcome",
     "Invariant",
     "IterationRecord",
+    "BatchRun",
     "OracleReport",
     "OracleSpec",
     "ParallelCompletenessOracle",
+    "PersistentWorkerPool",
+    "PoolWorker",
     "SystemSpec",
     "TableRow",
     "make_oracle",

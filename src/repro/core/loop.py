@@ -239,8 +239,14 @@ class ActiveLearner:
         )
 
     def close(self) -> None:
-        """Shut down the condition-checking worker pool (if any)."""
+        """Shut down the worker pools (oracle, and learner if it owns one)."""
         self._oracle.close()
+        # A pooled learner (e.g. SegmentedLearner with jobs > 1) owns
+        # worker processes of its own; closing here gives "with
+        # ActiveLearner(...)" one lifetime for everything.
+        closer = getattr(self._learner, "close", None)
+        if closer is not None:
+            closer()
 
     def __enter__(self) -> "ActiveLearner":
         return self

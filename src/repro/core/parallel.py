@@ -59,12 +59,9 @@ silently shorten it.  Dead workers are respawned on the next dispatch.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import time
 import warnings
 from dataclasses import dataclass
-from multiprocessing.connection import Connection, wait
 
 from ..expr.ast import Expr, free_vars
 from ..mc.spurious import (
@@ -76,6 +73,7 @@ from ..system.transition_system import SymbolicSystem
 from ..system.valuation import Valuation
 from .conditions import Condition
 from .oracle import CompletenessOracle, ConditionOutcome, OracleReport
+from .pool import ItemRunner, PersistentWorkerPool, PoolWorker
 
 
 # Sticky-affinity tables are bounded (oldest-first eviction) so a pool
@@ -171,56 +169,21 @@ class OracleSpec:
             validate=self.validate,
         )
 
+    def make_runner(self, worker_index: int) -> ItemRunner:
+        """Per-item runner for :class:`~repro.core.pool.PersistentWorkerPool`.
 
-# ---------------------------------------------------------------------------
-# worker process
-# ---------------------------------------------------------------------------
+        Rebuilds a serial oracle in the worker; each item is a
+        :class:`Condition`, each result a :class:`ConditionOutcome`.  A
+        truncated outcome (expired deadline mid-strengthening) stops the
+        batch, matching the serial ``check_all`` shape.
+        """
+        oracle = self.build_oracle()
 
-
-def _worker_main(spec: OracleSpec, worker_index: int, conn: Connection) -> None:
-    """Worker loop: rebuild an oracle from the spec, then serve batches.
-
-    Protocol (parent -> worker): ``("check", generation, [(index,
-    condition), ...], deadline | None)`` or ``("stop",)``.  Worker ->
-    parent: one ``("one", generation, index, outcome)`` per checked
-    condition, then ``("done", generation)`` per batch.  Streaming
-    results per condition is what lets the parent recover precisely when
-    a worker dies mid-batch; the echoed generation lets it discard stale
-    results if an earlier ``check_all`` was abandoned mid-collection
-    (e.g. by KeyboardInterrupt) with replies still in flight.
-    """
-    oracle = spec.build_oracle()
-    sent = 0
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, KeyboardInterrupt):
-            break
-        if message[0] == "stop":
-            break
-        _tag, generation, batch, deadline = message
-        for index, condition in batch:
-            if deadline is not None and time.monotonic() > deadline:
-                break
+        def run(condition: Condition, deadline: float | None):
             outcome = oracle.check(condition, deadline=deadline)
-            if spec.fault is not None and spec.fault[0] == worker_index:
-                if sent >= spec.fault[1]:
-                    os._exit(1)
-            conn.send(("one", generation, index, outcome))
-            sent += 1
-            if outcome.truncated:
-                break
-        conn.send(("done", generation))
-    conn.close()
+            return outcome, outcome.truncated
 
-
-@dataclass
-class _Worker:
-    process: multiprocessing.Process
-    conn: Connection
-
-    def alive(self) -> bool:
-        return self.process.is_alive()
+        return run
 
 
 # ---------------------------------------------------------------------------
@@ -278,54 +241,41 @@ class ParallelCompletenessOracle:
             from ..analysis.system_check import validate_system
 
             validate_system(system)
-        self._ctx = multiprocessing.get_context(start_method)
-        self._workers: list[_Worker | None] = [None] * jobs
+        # The generic pool owns process lifecycle, the wire protocol,
+        # stale-reply filtering and crash detection; this class owns the
+        # oracle-specific parts (affinity sharding, serial fallback,
+        # report merge).
+        self._pool = PersistentWorkerPool(
+            self._spec,
+            jobs,
+            start_method=start_method,
+            name=f"oracle-worker-{system.name}",
+        )
         # Two-level sticky affinity (see module docstring).
         self._condition_affinity: dict[Condition, int] = {}
         self._symbol_affinity: dict[tuple[str, ...], int] = {}
         self._serial: CompletenessOracle | None = None
         self.worker_failures = 0
-        self._closed = False
-        self._generation = 0  # batch tag; see _worker_main protocol
-        self._abandoned = False  # a check_all exited abnormally
 
     # -- lifecycle -----------------------------------------------------
+    @property
+    def _closed(self) -> bool:
+        return self._pool.closed
+
+    @property
+    def _workers(self) -> list[PoolWorker | None]:
+        return self._pool._workers
+
+    @property
+    def _generation(self) -> int:
+        return self._pool._generation
+
     def close(self) -> None:
         """Shut down all worker processes."""
-        self._closed = True
-        for slot, worker in enumerate(self._workers):
-            if worker is None:
-                continue
-            try:
-                worker.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-            worker.process.join(timeout=2.0)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=2.0)
-            worker.conn.close()
-            self._workers[slot] = None
+        self._pool.close()
 
-    def _reset_pool(self) -> None:
-        """Kill every worker; the next dispatch spawns a fresh pool.
-
-        Used after a ``check_all`` exits abnormally: an abandoned batch
-        can leave a worker blocked mid-``send`` on a full result pipe,
-        and dispatching to it again could deadlock.  Workers hold no
-        state that cannot be rebuilt from the spec.
-        """
-        for slot, worker in enumerate(self._workers):
-            if worker is None:
-                continue
-            worker.process.terminate()
-            worker.process.join(timeout=2.0)
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join(timeout=2.0)
-            worker.conn.close()
-            self._workers[slot] = None
-        self._abandoned = False
+    def _ensure_worker(self, slot: int) -> PoolWorker:
+        return self._pool.ensure_worker(slot)
 
     def __enter__(self) -> "ParallelCompletenessOracle":
         return self
@@ -419,25 +369,6 @@ class ParallelCompletenessOracle:
             self._symbol_affinity.pop(next(iter(self._symbol_affinity)))
         return batches
 
-    def _ensure_worker(self, slot: int) -> _Worker:
-        worker = self._workers[slot]
-        if worker is not None and worker.alive():
-            return worker
-        if worker is not None:
-            worker.conn.close()
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(self._spec, slot, child_conn),
-            daemon=True,
-            name=f"oracle-worker-{self._system.name}-{slot}",
-        )
-        process.start()
-        child_conn.close()
-        worker = _Worker(process=process, conn=parent_conn)
-        self._workers[slot] = worker
-        return worker
-
     # -- the sharded check_all -----------------------------------------
     def check_all(
         self, conditions: list[Condition], deadline: float | None = None
@@ -451,101 +382,23 @@ class ParallelCompletenessOracle:
             raise RuntimeError("oracle is closed")
         if self._jobs == 1 or len(conditions) < 2:
             return self._serial_oracle().check_all(conditions, deadline=deadline)
-        if self._abandoned:
-            # The previous call exited abnormally (e.g. KeyboardInterrupt)
-            # with batches possibly still in flight; a worker blocked on
-            # a full result pipe would deadlock a fresh dispatch, so
-            # start from a clean pool.  (Generation tags already guard
-            # against the plain stale-message case.)
-            self._reset_pool()
-        try:
-            return self._check_all_sharded(conditions, deadline)
-        except BaseException:
-            self._abandoned = True
-            raise
+        run = self._pool.run_batches(self._assign(conditions), deadline)
+        outcomes: dict[int, ConditionOutcome] = run.results
 
-    def _check_all_sharded(
-        self, conditions: list[Condition], deadline: float | None
-    ) -> OracleReport:
-        outcomes: dict[int, ConditionOutcome] = {}
-        retry: dict[int, Condition] = {}
-        pending: dict[int, dict[int, Condition]] = {}
-        active: dict[int, _Worker] = {}
-        failures = 0
-        self._generation += 1
-        generation = self._generation
-
-        for slot, batch in enumerate(self._assign(conditions)):
-            if not batch:
-                continue
-            worker = self._ensure_worker(slot)
-            try:
-                worker.conn.send(("check", generation, batch, deadline))
-            except (BrokenPipeError, OSError):
-                failures += 1
-                retry.update(dict(batch))
-                continue
-            pending[slot] = dict(batch)
-            active[slot] = worker
-
-        def drain(worker: _Worker, slot: int) -> str:
-            """Consume buffered replies; 'done', 'dead' or 'idle'.
-
-            Replies from an earlier generation (a check_all abandoned
-            mid-collection) are discarded rather than misattributed to
-            this batch's indices.
-            """
-            while worker.conn.poll(0):
-                try:
-                    message = worker.conn.recv()
-                except (EOFError, OSError):
-                    return "dead"
-                if message[1] != generation:
-                    continue
-                if message[0] == "one":
-                    _tag, _gen, index, outcome = message
-                    outcomes[index] = outcome
-                    pending[slot].pop(index, None)
-                elif message[0] == "done":
-                    return "done"
-            return "idle"
-
-        while pending:
-            by_conn = {active[s].conn: s for s in pending}
-            by_sentinel = {active[s].process.sentinel: s for s in pending}
-            ready = wait(list(by_conn) + list(by_sentinel))
-            touched = {by_conn.get(obj, by_sentinel.get(obj)) for obj in ready}
-            for slot in touched:
-                if slot not in pending:
-                    continue
-                worker = active[slot]
-                state = drain(worker, slot)
-                if state == "idle" and not worker.process.is_alive():
-                    # The drain may have raced the exit; anything still
-                    # buffered in the pipe is readable after death.
-                    state = drain(worker, slot)
-                    if state == "idle":
-                        state = "dead"
-                if state == "done":
-                    pending.pop(slot)
-                elif state == "dead":
-                    failures += 1
-                    retry.update(pending.pop(slot))
-
-        if failures:
-            self.worker_failures += failures
+        if run.failures:
+            self.worker_failures += run.failures
             warnings.warn(
-                f"{failures} completeness-oracle worker(s) died; "
-                f"re-checking {len(retry)} condition(s) serially",
+                f"{run.failures} completeness-oracle worker(s) died; "
+                f"re-checking {len(run.retry)} condition(s) serially",
                 RuntimeWarning,
                 stacklevel=2,
             )
-        if retry:
+        if run.retry:
             serial = self._serial_oracle()
-            for index in sorted(retry):
+            for index in sorted(run.retry):
                 if deadline is not None and time.monotonic() > deadline:
                     break
-                outcome = serial.check(retry[index], deadline=deadline)
+                outcome = serial.check(run.retry[index], deadline=deadline)
                 outcomes[index] = outcome
                 if outcome.truncated:
                     break

@@ -27,6 +27,7 @@ from .core.metrics import BaselineRow, TableRow
 from .core.conditions import extract_conditions
 from .core.parallel import make_oracle
 from .learn.base import ModelLearner
+from .learn.segmented import SegmentedLearner
 from .learn.t2m import T2MLearner
 from .mc.explicit import reachable_formula
 from .stateflow.benchmark import Benchmark, FsaSpec
@@ -72,6 +73,8 @@ def run_active(
     jobs: int = 1,
     use_session: bool = True,
     validate: bool = True,
+    segment_length: int | None = None,
+    segment_overlap: int = 1,
 ) -> ActiveRunOutput:
     """Run the active algorithm on one FSA; returns its Table I row.
 
@@ -91,8 +94,23 @@ def run_active(
     condition before any solver sees them, raising
     :class:`~repro.analysis.diagnostics.AnalysisError` on ERROR
     findings.
+
+    ``segment_length`` switches learning to the long-trace pipeline:
+    the learner is wrapped in a
+    :class:`~repro.learn.segmented.SegmentedLearner` that slices each
+    trace into overlapping segments (``segment_overlap`` shared
+    events), learns them independently — on the same ``jobs`` worker
+    count as the oracle — and unifies the per-segment models.  See
+    ``docs/long_traces.md``.
     """
     model_learner = learner or default_learner(benchmark, spec)
+    if segment_length is not None:
+        model_learner = SegmentedLearner(
+            model_learner,
+            segment_length,
+            segment_overlap,
+            jobs=jobs,
+        )
     traces = random_traces(
         benchmark.system, count=initial_traces, length=trace_length, seed=seed
     )

@@ -18,6 +18,7 @@ from .base import (
 from .ktails import KTailsLearner, KTailsSession
 from .predicates import candidate_atoms, synthesize_separator
 from .sat_dfa import IdentifiedDfa, SatDfaLearner, SatDfaSession, identify_dfa
+from .segmented import SegmentedLearner, SegmentedStats, SegmentLearnSpec
 from .t2m import T2MLearner, T2MSession
 
 __all__ = [
@@ -30,6 +31,9 @@ __all__ = [
     "ModelLearner",
     "SatDfaLearner",
     "SatDfaSession",
+    "SegmentLearnSpec",
+    "SegmentedLearner",
+    "SegmentedStats",
     "T2MLearner",
     "T2MSession",
     "candidate_atoms",

@@ -3,14 +3,24 @@
 This is the paper's initial-trace-set construction (§IV-B: "an initial
 set of 50 traces, each of length 50, by executing the system with
 randomly sampled inputs") and the random-sampling baseline (§IV-C).
+
+For the long-trace workload (companion paper, PAPERS.md) the module
+also provides *streaming* generation: :func:`iter_trace` yields
+observations one at a time without materialising the execution, and
+:func:`long_trace_events` emits 10⁶+-event logs — optionally with a
+periodic input schedule, the repetitive shape real logs have — in
+O(1) memory, ready to feed :func:`repro.traces.segment.segment_trace`
+or :func:`repro.traces.io.write_jsonl_events`.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
-from collections.abc import Callable
+from collections.abc import Callable, Iterable, Iterator
 
 from ..system.transition_system import SymbolicSystem
+from ..system.valuation import Valuation
 from .trace import Trace, TraceSet
 
 InputSampler = Callable[[random.Random], dict[str, int]]
@@ -48,3 +58,71 @@ def guided_trace(
 ) -> Trace:
     """Trace from an explicit input sequence (used by tests/examples)."""
     return Trace(system.run(input_seq))
+
+
+# ----------------------------------------------------------------------
+# Streaming generation (long-trace workload)
+# ----------------------------------------------------------------------
+
+def iter_trace(
+    system: SymbolicSystem,
+    input_seq: Iterable[dict[str, int]],
+) -> Iterator[Valuation]:
+    """Execute from the initial state, yielding observations lazily.
+
+    Streaming counterpart of ``system.run``: consumes the input
+    iterable one step at a time and never materialises the execution,
+    so trace length is bounded only by the input stream.
+    """
+    state = system.init_state
+    for inputs in input_seq:
+        state = system.step(state, inputs)
+        yield system.observe(state, inputs)
+
+
+def periodic_inputs(
+    system: SymbolicSystem,
+    period: int,
+    seed: int = 0,
+    sampler: InputSampler | None = None,
+) -> Iterator[dict[str, int]]:
+    """An endlessly repeating input schedule of the given period.
+
+    Samples ``period`` random inputs once, then cycles them — the
+    eventually-periodic shape of real instrumentation logs, and the
+    shape that makes the segment-dedup memo of
+    :class:`repro.learn.segmented.SegmentedLearner` pay off.
+    """
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    rng = random.Random(seed)
+    sample = sampler or system.random_inputs
+    cycle = [sample(rng) for _ in range(period)]
+    return itertools.cycle(cycle)
+
+
+def long_trace_events(
+    system: SymbolicSystem,
+    length: int,
+    seed: int = 0,
+    period: int | None = None,
+    sampler: InputSampler | None = None,
+) -> Iterator[Valuation]:
+    """A long execution trace as a bounded-memory observation stream.
+
+    With ``period`` set, inputs follow :func:`periodic_inputs` (a
+    repetitive log); otherwise every step is sampled independently.
+    Deterministic in ``seed`` either way.  Memory is O(1) in
+    ``length`` — suitable for 10⁶+-event traces.
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    if period is not None:
+        inputs: Iterator[dict[str, int]] = periodic_inputs(
+            system, period, seed=seed, sampler=sampler
+        )
+    else:
+        rng = random.Random(seed)
+        sample = sampler or system.random_inputs
+        inputs = (sample(rng) for _ in itertools.count())
+    return iter_trace(system, itertools.islice(inputs, length))

@@ -1,0 +1,106 @@
+"""Trace segmentation for long-trace learning (companion paper).
+
+*Learning Concise Models from Long Execution Traces* (Jeppu, Melham,
+Kroening, O'Leary — PAPERS.md) makes SAT-based learning tractable on
+10⁵–10⁷-event traces by slicing the trace into overlapping segments,
+learning a model per segment, and unifying the per-segment models.
+This module provides the slicer; the learner lives in
+:mod:`repro.learn.segmented` and the unifier in
+:mod:`repro.automata.splice`.
+
+Segmentation contract (``length`` L, ``overlap`` w, stride L − w):
+
+* segment ``i`` covers events ``[i·(L−w), i·(L−w) + L)``;
+* consecutive segments share exactly ``w`` events, so with ``w ≥ 1``
+  every consecutive observation pair of the original trace lies inside
+  some segment — nothing the learner must explain is lost;
+* the original event sequence is reconstructed by concatenating
+  segment 0 with each later segment minus its first ``w`` events
+  (:func:`stitch_segments`), which is the property the round-trip
+  tests pin down.
+
+The slicer consumes any iterable — including the streaming readers of
+:mod:`repro.traces.io` and the generators of
+:mod:`repro.traces.generate` — holding at most ``L`` events at a time,
+so a million-event log is segmented with bounded memory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..system.valuation import Valuation
+from .trace import Trace
+
+
+def segment_trace(
+    events: Iterable[Valuation],
+    length: int,
+    overlap: int = 1,
+) -> Iterator[Trace]:
+    """Slice an event stream into overlapping :class:`Trace` segments.
+
+    Yields segments of ``length`` events with ``overlap`` shared events
+    between consecutive segments; the final segment may be shorter.  An
+    empty stream yields nothing.  Memory is bounded by ``length``
+    regardless of stream size.
+    """
+    if length < 2:
+        raise ValueError(f"segment length must be >= 2, got {length}")
+    if not 0 <= overlap < length:
+        raise ValueError(
+            f"segment overlap must be in [0, length), got {overlap} "
+            f"for length {length}"
+        )
+    stride = length - overlap
+    window: list[Valuation] = []
+    emitted = False
+    for event in events:
+        window.append(event)
+        if len(window) == length:
+            yield Trace(window)
+            emitted = True
+            del window[:stride]
+    # Tail: events past the last full segment (or a stream shorter than
+    # one segment).  A leftover window of exactly `overlap` events is
+    # fully covered by the previous segment — nothing to emit.
+    if not emitted:
+        if window:
+            yield Trace(window)
+    elif len(window) > overlap:
+        yield Trace(window)
+
+
+def stitch_segments(
+    segments: Iterable[Trace | Iterable[Valuation]],
+    overlap: int,
+) -> Iterator[Valuation]:
+    """Reconstruct the original event stream from overlapping segments.
+
+    Inverse of :func:`segment_trace` for the same ``overlap``: yields
+    segment 0 in full, then each later segment minus its first
+    ``overlap`` events.
+    """
+    if overlap < 0:
+        raise ValueError(f"overlap must be >= 0, got {overlap}")
+    first = True
+    for segment in segments:
+        observations = list(segment)
+        if first:
+            first = False
+            yield from observations
+        else:
+            yield from observations[overlap:]
+
+
+def segment_count(total_events: int, length: int, overlap: int) -> int:
+    """How many segments :func:`segment_trace` yields for a given size."""
+    if total_events <= 0:
+        return 0
+    if total_events <= length:
+        return 1
+    stride = length - overlap
+    # Full segments, plus one tail segment if uncovered events remain.
+    full = 1 + (total_events - length) // stride
+    covered = length + (full - 1) * stride
+    return full + (1 if total_events > covered else 0)

@@ -9,7 +9,8 @@ languages must be prefix-closed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import islice
 
 from ..system.valuation import Valuation
 
@@ -56,6 +57,72 @@ class Trace:
         if not self.observations:
             return ()
         return tuple(sorted(self.observations[0]))
+
+
+class TraceSliceView(Sequence[Trace]):
+    """A lazy, immutable window over a :class:`TraceSet`'s append log.
+
+    Returned by :meth:`TraceSet.since`.  The view pins ``[start, stop)``
+    at construction time; because trace sets are append-only, the
+    underlying entries can never change, so the view is safe to hold
+    indefinitely and costs O(1) to create — no per-call tuple copy even
+    when the delta spans millions of traces.
+
+    The view compares equal to any sequence with the same elements
+    (``since(v) == ()`` and ``since(0) == tuple(traces)`` both hold),
+    and slicing with a plain ``[i:j]`` range returns another lazy view.
+    """
+
+    __slots__ = ("_log", "_start", "_stop")
+
+    def __init__(self, log: list[Trace], start: int, stop: int):
+        self._log = log
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self) -> Iterator[Trace]:
+        return islice(iter(self._log), self._start, self._stop)
+
+    def __getitem__(self, index):
+        length = len(self)
+        if isinstance(index, slice):
+            start, stop, step = index.indices(length)
+            if step == 1:
+                return TraceSliceView(
+                    self._log, self._start + start, self._start + stop
+                )
+            return tuple(self._log[self._start:self._stop][index])
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(index)
+        return self._log[self._start + index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TraceSliceView):
+            if (
+                self._log is other._log
+                and self._start == other._start
+                and self._stop == other._stop
+            ):
+                return True
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        if isinstance(other, (tuple, list)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return f"TraceSliceView(len={len(self)})"
 
 
 class TraceSet:
@@ -115,18 +182,24 @@ class TraceSet:
         """
         return len(self._traces)
 
-    def since(self, version: int) -> tuple[Trace, ...]:
+    def since(self, version: int) -> TraceSliceView:
         """The traces appended after snapshot ``version``, in order.
 
         This is the delta view learner sessions consume: after an
         iteration adds counterexample traces, ``since(v)`` for the
         pre-iteration ``v`` is precisely the new material.
+
+        Returns a lazy O(1) :class:`TraceSliceView` pinned to the
+        current length (the append log never mutates existing entries,
+        so the view stays valid as the set grows).  It compares equal
+        to the tuple it used to be; see ``docs/long_traces.md`` for the
+        micro-benchmark that motivated dropping the per-call copy.
         """
         if not 0 <= version <= len(self._traces):
             raise ValueError(
                 f"snapshot {version} out of range for {self!r}"
             )
-        return tuple(self._traces[version:])
+        return TraceSliceView(self._traces, version, len(self._traces))
 
     def copy(self) -> "TraceSet":
         return TraceSet(self._traces)

@@ -1,0 +1,307 @@
+"""Tests for the long-trace streaming layer: lazy since() views,
+streaming readers/writers (CSV/JSONL), segmentation round-trips, and
+streaming trace generation."""
+
+import io
+import itertools
+import random
+
+import pytest
+
+from repro.system import Valuation
+from repro.traces import (
+    Trace,
+    TraceFormatError,
+    TraceSet,
+    TraceSliceView,
+    collect_events,
+    iter_csv,
+    iter_jsonl,
+    iter_trace,
+    long_trace_events,
+    periodic_inputs,
+    random_trace,
+    random_traces,
+    read_csv,
+    read_jsonl,
+    save_jsonl,
+    load_jsonl,
+    segment_count,
+    segment_trace,
+    stitch_segments,
+    write_csv,
+    write_jsonl,
+    write_jsonl_events,
+)
+
+
+def obs(**kwargs):
+    return Valuation(kwargs)
+
+
+def make_traces(n):
+    return [Trace([obs(a=i), obs(a=i + 1)]) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# lazy since() views
+# ---------------------------------------------------------------------------
+
+
+class TestTraceSliceView:
+    def test_since_is_lazy_view(self):
+        traces = TraceSet(make_traces(5))
+        view = traces.since(2)
+        assert isinstance(view, TraceSliceView)
+        assert len(view) == 3
+        assert list(view) == list(traces)[2:]
+
+    def test_view_compares_to_tuples_and_lists(self):
+        traces = TraceSet(make_traces(4))
+        assert traces.since(4) == ()
+        assert traces.since(0) == tuple(traces)
+        assert traces.since(1) == list(traces)[1:]
+        assert not traces.since(1) == tuple(traces)
+
+    def test_view_pins_stop_at_call_time(self):
+        traces = TraceSet(make_traces(3))
+        view = traces.since(1)
+        traces.add(Trace([obs(a=99)]))
+        # The view delimits the snapshot interval, not the live tail.
+        assert len(view) == 2
+        assert traces.since(1) == tuple(list(traces)[1:])
+
+    def test_view_slicing_returns_view(self):
+        traces = TraceSet(make_traces(6))
+        window = traces.since(1)[:3]
+        assert isinstance(window, TraceSliceView)
+        assert window == tuple(list(traces)[1:4])
+        # The documented two-snapshot delta idiom.
+        assert traces.since(2)[: 5 - 2] == tuple(list(traces)[2:5])
+
+    def test_view_indexing(self):
+        traces = TraceSet(make_traces(4))
+        view = traces.since(1)
+        assert view[0] == list(traces)[1]
+        assert view[-1] == list(traces)[3]
+        with pytest.raises(IndexError):
+            view[3]
+
+    def test_view_is_hashable_and_o1_to_create(self):
+        traces = TraceSet(make_traces(3))
+        assert hash(traces.since(0)) == hash(tuple(traces))
+
+    def test_out_of_range_still_raises(self):
+        traces = TraceSet(make_traces(2))
+        with pytest.raises(ValueError):
+            traces.since(3)
+        with pytest.raises(ValueError):
+            traces.since(-1)
+
+
+# ---------------------------------------------------------------------------
+# streaming CSV
+# ---------------------------------------------------------------------------
+
+
+class TestIterCsv:
+    def test_streams_events_in_order(self, cooler):
+        traces = random_traces(cooler, count=3, length=4, seed=7)
+        buffer = io.StringIO()
+        write_csv(traces, buffer)
+        buffer.seek(0)
+        events = list(iter_csv(buffer))
+        assert [i for i, _ in events] == [0] * 4 + [1] * 4 + [2] * 4
+        assert list(collect_events(events)) == list(traces)
+
+    def test_read_csv_is_thin_collector(self, cooler):
+        traces = random_traces(cooler, count=2, length=3, seed=1)
+        buffer = io.StringIO()
+        write_csv(traces, buffer)
+        buffer.seek(0)
+        assert list(read_csv(buffer)) == list(traces)
+
+    def test_bad_header_raises_format_error(self):
+        with pytest.raises(TraceFormatError):
+            list(iter_csv(io.StringIO("nope,nope\n1,2\n")))
+        # TraceFormatError is a ValueError: old callers keep working.
+        with pytest.raises(ValueError):
+            read_csv(io.StringIO("nope,nope\n1,2\n"))
+
+    def test_malformed_row_is_clear_error(self):
+        src = io.StringIO("trace,step,a\n0,0,1\n0,1,banana\n")
+        with pytest.raises(TraceFormatError, match="line 3"):
+            list(iter_csv(src))
+
+    def test_wrong_width_row_is_clear_error(self):
+        src = io.StringIO("trace,step,a,b\n0,0,1\n")
+        with pytest.raises(TraceFormatError, match="columns"):
+            list(iter_csv(src))
+
+    def test_non_contiguous_trace_rejected(self):
+        src = io.StringIO("trace,step,a\n0,0,1\n1,0,2\n0,1,3\n")
+        with pytest.raises(TraceFormatError, match="contiguous"):
+            list(iter_csv(src))
+
+    def test_step_gap_rejected(self):
+        src = io.StringIO("trace,step,a\n0,0,1\n0,2,3\n")
+        with pytest.raises(TraceFormatError, match="step"):
+            list(iter_csv(src))
+
+
+# ---------------------------------------------------------------------------
+# JSONL event logs
+# ---------------------------------------------------------------------------
+
+
+class TestJsonl:
+    def test_roundtrip(self, cooler):
+        traces = random_traces(cooler, count=3, length=4, seed=5)
+        buffer = io.StringIO()
+        write_jsonl(traces, buffer)
+        buffer.seek(0)
+        assert list(read_jsonl(buffer)) == list(traces)
+
+    def test_save_load_files(self, tmp_path, cooler):
+        traces = random_traces(cooler, count=2, length=3, seed=5)
+        path = tmp_path / "traces.jsonl"
+        save_jsonl(traces, path)
+        assert list(load_jsonl(path)) == list(traces)
+
+    def test_appendable(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with open(path, "w") as out:
+            write_jsonl_events([(0, obs(a=1))], out)
+        with open(path, "a") as out:
+            write_jsonl_events([(0, obs(a=2)), (1, obs(a=3))], out)
+        with open(path) as src:
+            back = collect_events(iter_jsonl(src))
+        assert list(back) == [Trace([obs(a=1), obs(a=2)]), Trace([obs(a=3)])]
+
+    def test_streaming_is_lazy(self):
+        # Only consume two events from a "large" log: the reader must not
+        # have touched the rest (a generator source would raise if read).
+        lines = (f'{{"trace": 0, "obs": {{"a": {i}}}}}\n' for i in range(10**6))
+        events = iter_jsonl(lines)
+        assert next(events)[1] == obs(a=0)
+        assert next(events)[1] == obs(a=1)
+
+    def test_bad_json_line_is_clear_error(self):
+        src = io.StringIO('{"trace": 0, "obs": {"a": 1}}\nnot json\n')
+        with pytest.raises(TraceFormatError, match="line 2"):
+            list(iter_jsonl(src))
+
+    def test_missing_obs_is_clear_error(self):
+        with pytest.raises(TraceFormatError):
+            list(iter_jsonl(io.StringIO('{"trace": 0}\n')))
+
+    def test_non_integer_value_is_clear_error(self):
+        src = io.StringIO('{"trace": 0, "obs": {"a": "x"}}\n')
+        with pytest.raises(TraceFormatError, match="line 1"):
+            list(iter_jsonl(src))
+
+    def test_non_contiguous_trace_rejected(self):
+        src = io.StringIO(
+            '{"trace": 0, "obs": {"a": 1}}\n'
+            '{"trace": 1, "obs": {"a": 2}}\n'
+            '{"trace": 0, "obs": {"a": 3}}\n'
+        )
+        with pytest.raises(TraceFormatError, match="contiguous"):
+            list(iter_jsonl(src))
+
+
+# ---------------------------------------------------------------------------
+# segmentation
+# ---------------------------------------------------------------------------
+
+
+def events_of(n):
+    return [obs(a=i) for i in range(n)]
+
+
+class TestSegmentTrace:
+    @pytest.mark.parametrize("total", [0, 1, 2, 3, 5, 7, 10, 11, 23, 50])
+    @pytest.mark.parametrize("length,overlap", [(2, 1), (3, 1), (5, 2), (7, 3), (10, 9), (4, 0)])
+    def test_roundtrip_property(self, total, length, overlap):
+        events = events_of(total)
+        segments = list(segment_trace(events, length, overlap))
+        back = list(stitch_segments(segments, overlap))
+        assert back == events
+        assert len(segments) == segment_count(total, length, overlap)
+
+    @pytest.mark.parametrize("length,overlap", [(3, 1), (5, 2)])
+    def test_consecutive_segments_share_overlap(self, length, overlap):
+        segments = list(segment_trace(events_of(20), length, overlap))
+        for prev, cur in itertools.pairwise(segments):
+            assert list(prev)[-overlap:] == list(cur)[:overlap]
+
+    def test_every_consecutive_pair_is_covered(self):
+        events = events_of(17)
+        covered = set()
+        for segment in segment_trace(events, 4, 1):
+            for a, b in itertools.pairwise(segment):
+                covered.add((a["a"], b["a"]))
+        assert covered == {(i, i + 1) for i in range(16)}
+
+    def test_bounded_memory_from_generator(self):
+        # A generator source works and segments appear incrementally.
+        stream = (obs(a=i) for i in range(10**6))
+        first = next(iter(segment_trace(stream, 100, 10)))
+        assert len(first) == 100
+
+    def test_segments_are_traces(self):
+        segments = list(segment_trace(events_of(7), 3, 1))
+        assert all(isinstance(s, Trace) for s in segments)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(segment_trace([], 1, 0))
+        with pytest.raises(ValueError):
+            list(segment_trace([], 5, 5))
+        with pytest.raises(ValueError):
+            list(segment_trace([], 5, -1))
+        with pytest.raises(ValueError):
+            list(stitch_segments([], -1))
+
+
+# ---------------------------------------------------------------------------
+# streaming generation
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingGeneration:
+    def test_iter_trace_matches_run(self, cooler):
+        rng = random.Random(3)
+        inputs = [cooler.random_inputs(rng) for _ in range(20)]
+        assert list(iter_trace(cooler, inputs)) == cooler.run(inputs)
+
+    def test_long_trace_events_deterministic(self, counter):
+        first = list(long_trace_events(counter, 50, seed=4))
+        second = list(long_trace_events(counter, 50, seed=4))
+        assert first == second
+
+    def test_long_trace_matches_random_trace(self, cooler):
+        streamed = list(long_trace_events(cooler, 30, seed=9))
+        eager = random_trace(cooler, 30, random.Random(9))
+        assert streamed == list(eager)
+
+    def test_periodic_inputs_cycle(self, counter):
+        inputs = periodic_inputs(counter, period=3, seed=0)
+        window = list(itertools.islice(inputs, 9))
+        assert window[:3] == window[3:6] == window[6:9]
+
+    def test_periodic_trace_is_execution(self, counter):
+        events = list(long_trace_events(counter, 40, seed=2, period=5))
+        assert counter.is_execution(events)
+
+    def test_lazy_consumption(self, counter):
+        # Pull only a prefix of a "million-event" stream.
+        stream = long_trace_events(counter, 10**6, seed=0, period=7)
+        prefix = list(itertools.islice(stream, 10))
+        assert len(prefix) == 10
+
+    def test_validation(self, counter):
+        with pytest.raises(ValueError):
+            list(long_trace_events(counter, -1))
+        with pytest.raises(ValueError):
+            periodic_inputs(counter, 0)
