@@ -23,12 +23,26 @@ monolithic baseline is slow enough to measure (consistent with the
 CPU-count gate in ``benchmarks/test_parallel_oracle.py``); on fast
 hosts the numbers are still measured and recorded.
 
+The asserted monolithic/partitioned wall-clock entries are measured in
+a **fresh subprocess** (min over ``TIMING_ROUNDS`` interleaved rounds):
+inside a long-lived pytest interpreter the two configurations' relative
+speed is distorted by accumulated heap state -- reproducibly, by tens
+of percent, in a direction that flips with unrelated code-size changes
+-- while a bare interpreter measures the same ratio stably.  Structural
+metrics (peak nodes, diameter, state counts, partition shape) and the
+sifting configuration stay in-process; they are deterministic or not
+part of the asserted ratio.
+
 Run:  pytest benchmarks/test_bdd.py -s
 """
 
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
+import textwrap
 import time
 from pathlib import Path
 
@@ -48,6 +62,8 @@ SIFT_THRESHOLD = 6000
 # Wall-clock gate: below this aggregate baseline, timing noise dominates
 # any real difference between single-threaded configurations.
 MIN_MEASURABLE_SECONDS = 0.2
+# Timing rounds per asserted configuration; entries keep the minimum.
+TIMING_ROUNDS = 5
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_bdd.json"
 
 CONFIGS = {
@@ -70,15 +86,59 @@ def _explore(system, **kwargs):
     return ctx, engine, states, seconds
 
 
+def _isolated_timings() -> dict[str, dict[str, float]]:
+    """Monolithic/partitioned wall-clock per system, from a bare
+    interpreter: ``{system: {config: min_seconds_over_rounds}}``."""
+    script = textwrap.dedent(
+        f"""
+        import json, sys, time
+        from repro.mc.symbolic import SharedBddContext, SymbolicReachability
+        from repro.stateflow.library import get_benchmark
+
+        best = {{}}
+        for name in {BENCHES!r}:
+            system = get_benchmark(name).system
+            entry = best.setdefault(name, {{}})
+            for _ in range({TIMING_ROUNDS}):
+                for key, part in (("monolithic", False), ("partitioned", True)):
+                    ctx = SharedBddContext(
+                        system, partitioned=part, reorder_threshold=None
+                    )
+                    engine = SymbolicReachability(system, context=ctx)
+                    start = time.perf_counter()
+                    engine.explore()
+                    engine.num_reachable_states()
+                    seconds = time.perf_counter() - start
+                    entry[key] = min(seconds, entry.get(key, seconds))
+        print(json.dumps(best))
+        """
+    )
+    src = Path(__file__).resolve().parents[1] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(out.stdout)
+
+
 def test_bdd_image_benchmark():
     systems = {}
     totals = {name: 0.0 for name in CONFIGS}
+    timings = _isolated_timings()
     for bench_name in BENCHES:
         system = get_benchmark(bench_name).system
         row: dict = {"total_bits": None}
         reference = None
         for config_name, kwargs in CONFIGS.items():
             ctx, engine, states, seconds = _explore(system, **kwargs)
+            # The asserted configurations report the isolated timing;
+            # the in-process number is unusable (see module docstring).
+            seconds = timings[bench_name].get(config_name, seconds)
             row["total_bits"] = ctx.compiler.total_bits
             entry = {
                 "seconds": round(seconds, 4),
@@ -126,6 +186,7 @@ def test_bdd_image_benchmark():
     record = {
         "systems": systems,
         "sift_threshold": SIFT_THRESHOLD,
+        "timing_rounds": TIMING_ROUNDS,
         "totals_seconds": {k: round(v, 4) for k, v in totals.items()},
         "partitioned_speedup": round(speedup, 3),
         "peak_node_reduction": {

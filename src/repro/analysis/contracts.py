@@ -23,6 +23,11 @@ conventions.  This linter makes them enforced:
   from the parent).
 * **C005** — ``time.time()`` calls.  Measured paths standardise on
   ``time.perf_counter()``; wall-clock time regresses under NTP slew.
+* **C006** — telemetry span names off the documented scheme.  A string
+  literal passed as the first argument of a ``span(...)``/``x.span(...)``
+  call must be dotted lowercase ``component.phase`` (e.g.
+  ``"oracle.check"``, ``"loop.learn"``; see ``docs/observability.md``) so
+  profiles group consistently and exported logs stay greppable.
 * **C000** — a suppression comment without a reason.
 
 Suppression syntax::
@@ -81,7 +86,12 @@ CODE_MESSAGES = {
     "C003": "module/class-level cache keyed on Expr (key on eid)",
     "C004": "mutable default argument",
     "C005": "time.time() in a measured path (use perf_counter)",
+    "C006": "span name must be dotted lowercase component.phase",
 }
+
+#: The documented span-name shape: at least one dot, every segment
+#: lowercase ``[a-z0-9_]+`` (C006).
+_SPAN_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 
 
 @dataclass(frozen=True)
@@ -190,7 +200,24 @@ class _ContractVisitor(ast.NodeVisitor):
                 self._report("C002", node, "copy.deepcopy(...)")
             if func.value.id in self.time_modules and func.attr == "time":
                 self._report("C005", node, "time.time()")
+        self._check_span_name(node)
         self.generic_visit(node)
+
+    def _check_span_name(self, node: ast.Call) -> None:
+        """C006: literal first argument of a span(...) call must be a
+        dotted lowercase name.  Only string literals are judged — a
+        variable name is the caller's responsibility — and calls like
+        ``match.span(1)`` fall through on the non-string argument."""
+        func = node.func
+        is_span_call = (
+            isinstance(func, ast.Name) and func.id == "span"
+        ) or (isinstance(func, ast.Attribute) and func.attr == "span")
+        if not is_span_call or not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if not _SPAN_NAME.match(first.value):
+                self._report("C006", node, repr(first.value))
 
     # ------------------------------------------------------------------
     # scopes: C003 only at module/class level, C004 on any function

@@ -111,13 +111,46 @@ class _Accounting:
             self.deref(mgr._high[node])
 
 
+class _CountingCache(dict):
+    """Op cache that counts probes and insertions (profiling mode only).
+
+    Hit/miss accounting must not slow the structural recursions down,
+    so the recursions never increment anything: in profiling mode the
+    caches themselves are swapped for this subclass, and the stats fall
+    out of two invariants -- every lookup goes through :meth:`get`, and
+    every miss stores exactly once -- giving ``misses = insertions`` and
+    ``hits = probes - insertions``.  The default (plain ``dict``) caches
+    cost nothing.  ``dict.clear`` leaves both counters intact, so they
+    are lifetime totals across :meth:`BddManager.clear_caches`.
+    """
+
+    __slots__ = ("insertions", "probes")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.probes = 0
+        self.insertions = 0
+
+    def get(self, key, default=None):
+        self.probes += 1
+        return super().get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        self.insertions += 1
+        super().__setitem__(key, value)
+
+
 class BddManager:
     """Owns the node store, the level permutation and the operation caches."""
 
     FALSE = 0
     TRUE = 1
 
-    def __init__(self, auto_reorder_threshold: int | None = None) -> None:
+    def __init__(
+        self,
+        auto_reorder_threshold: int | None = None,
+        profile_caches: bool | None = None,
+    ) -> None:
         # node id -> (var, low, high); terminals use var = -1 sentinel.
         self._var: list[int] = [-1, -1]
         self._low: list[int] = [0, 0]
@@ -127,17 +160,38 @@ class BddManager:
         self._var2level: list[int] = []
         self._level2var: list[int] = []
         # Operation caches (all cleared by clear_caches / on reorder).
-        self._ite_cache: dict[tuple[int, int, int], int] = {}
-        self._exists_cache: dict[tuple[int, frozenset[int]], int] = {}
-        self._rename_cache: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
-        self._restrict_cache: dict[tuple[int, int, bool], int] = {}
-        self._andex_cache: dict[tuple[int, int, frozenset[int]], int] = {}
+        # ``profile_caches`` (default: on iff a telemetry session is
+        # active at construction) swaps them for counting dicts; plain
+        # dicts keep the recursions free of accounting overhead.
+        if profile_caches is None:
+            from ..core import telemetry
+
+            profile_caches = telemetry.metrics() is not None
+        self.profile_caches = bool(profile_caches)
+        _cache: Callable[[], dict] = (
+            _CountingCache if self.profile_caches else dict
+        )
+        self._ite_cache: dict[tuple[int, int, int], int] = _cache()
+        self._exists_cache: dict[tuple[int, frozenset[int]], int] = _cache()
+        self._rename_cache: dict[
+            tuple[int, tuple[tuple[int, int], ...]], int
+        ] = _cache()
+        self._restrict_cache: dict[tuple[int, int, bool], int] = _cache()
+        self._andex_cache: dict[tuple[int, int, frozenset[int]], int] = _cache()
         self._support_cache: dict[int, frozenset[int]] = {}
         # Root pins for the reordering contract (node -> pin count).
         self._protected: dict[int, int] = {}
+        # Model counting uses per-call local caches; their stats are
+        # folded into these totals after each walk (profiling mode).
+        self._count_models_hits = 0
+        self._count_models_misses = 0
+        self.cache_clears = 0
+        self.cache_dropped = 0
         # Reorder bookkeeping.
         self.reorder_count = 0
+        self.swap_count = 0
         self.last_reorder_live: int | None = None
+        self._published_metrics: dict[str, int] = {}
         self._auto_reorder_at: int | None = None
         if auto_reorder_threshold:
             self.enable_auto_reorder(auto_reorder_threshold)
@@ -522,7 +576,62 @@ class BddManager:
         self._restrict_cache.clear()
         self._andex_cache.clear()
         self._support_cache.clear()
+        self.cache_clears += 1
+        self.cache_dropped += dropped
         return dropped
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Per-op-cache hit/miss counters plus clear accounting.
+
+        Exact only in profiling mode (``profile_caches``; see
+        :class:`_CountingCache`) -- otherwise every hit/miss reads 0.
+        Hits/misses survive :meth:`clear_caches` (they are lifetime
+        totals; a clear shows up as the ``clears``/``dropped`` pair and
+        a subsequent dip in hit rate, not as a counter reset).
+        """
+        stats: dict[str, int] = {}
+        for name, cache in (
+            ("ite", self._ite_cache),
+            ("restrict", self._restrict_cache),
+            ("exists", self._exists_cache),
+            ("and_exists", self._andex_cache),
+            ("rename", self._rename_cache),
+        ):
+            probes = getattr(cache, "probes", 0)
+            insertions = getattr(cache, "insertions", 0)
+            stats[name + "_hits"] = probes - insertions
+            stats[name + "_misses"] = insertions
+        stats["count_models_hits"] = self._count_models_hits
+        stats["count_models_misses"] = self._count_models_misses
+        stats["clears"] = self.cache_clears
+        stats["dropped"] = self.cache_dropped
+        return stats
+
+    def publish_metrics(self, registry, prefix: str = "bdd.") -> None:
+        """Fold this manager's counters into a telemetry registry.
+
+        Counter-style values are published as *deltas* since the last
+        publish (tracked per manager), so owners may call this at every
+        safe point — image steps do — without double counting.  Peaks
+        (node store, cache entries, reorder live size) go out as
+        max-merged gauges.
+        """
+        counters = {
+            "cache." + name: value for name, value in self.cache_stats.items()
+        }
+        counters["reorders"] = self.reorder_count
+        counters["swaps"] = self.swap_count
+        published = self._published_metrics
+        for name in sorted(counters):
+            diff = counters[name] - published.get(name, 0)
+            if diff:
+                registry.inc(prefix + name, diff)
+                published[name] = counters[name]
+        registry.gauge_max(prefix + "peak_nodes", self.peak_nodes)
+        registry.gauge_max(prefix + "cache_entries_peak", self.cache_entries)
+        if self.last_reorder_live is not None:
+            registry.gauge_max(prefix + "reorder_live", self.last_reorder_live)
 
     # ------------------------------------------------------------------
     # variable reordering
@@ -565,6 +674,7 @@ class BddManager:
         self.clear_caches()
 
     def _swap_tracked(self, level: int, acc: _Accounting) -> None:
+        self.swap_count += 1
         u = self._level2var[level]
         v = self._level2var[level + 1]
         var_arr, low_arr, high_arr = self._var, self._low, self._high
@@ -716,7 +826,9 @@ class BddManager:
                 )
         levels = max(num_vars, len(self._level2var))
         v2l = self._var2level
-        cache: dict[int, int] = {}
+        cache: dict[int, int] = (
+            _CountingCache() if self.profile_caches else {}
+        )
 
         def count(n: int) -> tuple[int, int]:
             """(models, level_or_levels) counted from the node's level down."""
@@ -725,8 +837,9 @@ class BddManager:
             if n == self.TRUE:
                 return 1, levels
             level = v2l[self._var[n]]
-            if n in cache:
-                return cache[n], level
+            cached = cache.get(n)
+            if cached is not None:
+                return cached, level
             low_models, low_level = count(self._low[n])
             high_models, high_level = count(self._high[n])
             total = low_models * (1 << (low_level - level - 1)) + high_models * (
@@ -736,6 +849,9 @@ class BddManager:
             return total, level
 
         models, top = count(node)
+        if self.profile_caches:
+            self._count_models_misses += cache.insertions
+            self._count_models_hits += cache.probes - cache.insertions
         return (models * (1 << top)) >> (levels - num_vars)
 
     def one_model(self, node: int) -> dict[int, bool] | None:

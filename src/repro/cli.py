@@ -9,6 +9,8 @@ Usage examples::
     python -m repro baseline MealyVendingMachine
     python -m repro analyze --all-library-systems
     python -m repro analyze ModelingASecuritySystem --semantic
+    python -m repro run MealyVendingMachine --telemetry run.telemetry.jsonl
+    python -m repro profile run.telemetry.jsonl
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from .core import (
     format_table,
     render_invariants,
 )
+from .core import telemetry
 from .evaluation import run_active, run_random_baseline
 from .expr.printer import to_str
 from .mc.spurious import SPURIOUS_ENGINES
@@ -39,7 +42,40 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_args(args: argparse.Namespace) -> dict:
+    """JSON-safe view of the parsed arguments for the meta event."""
+    return {
+        key: value
+        for key, value in vars(args).items()
+        if key not in ("fn", "telemetry")
+        and isinstance(value, (str, int, float, bool, type(None)))
+    }
+
+
+def _with_telemetry(args: argparse.Namespace, body) -> int:
+    """Run ``body()`` under a telemetry session when ``--telemetry PATH``
+    was given; on exit export spans + the final snapshot to the path."""
+    if not getattr(args, "telemetry", None):
+        return body()
+    from datetime import datetime, timezone
+
+    session = telemetry.start(args.command, _telemetry_args(args))
+    try:
+        code = body()
+    finally:
+        telemetry.stop()
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    with open(args.telemetry, "w") as handle:
+        events = telemetry.export_jsonl(session, handle, timestamp=stamp)
+    print(f"\ntelemetry: {events} event(s) written to {args.telemetry}")
+    return code
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    return _with_telemetry(args, lambda: _do_run(args))
+
+
+def _do_run(args: argparse.Namespace) -> int:
     benchmark = get_benchmark(args.benchmark)
     spec = benchmark.fsa(args.fsa) if args.fsa else benchmark.fsas[0]
     out = run_active(
@@ -157,6 +193,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
+    return _with_telemetry(args, lambda: _do_table1(args))
+
+
+def _do_table1(args: argparse.Namespace) -> int:
     active_rows: list[TableRow] = []
     baseline_rows: list[BaselineRow] = []
     names = args.benchmarks or benchmark_names()
@@ -191,6 +231,30 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         print("\nTable I (random-sampling baseline):")
         print(format_baseline_table(baseline_rows))
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Render a telemetry log: span tree + top-k counters."""
+    try:
+        with open(args.log) as handle:
+            events = telemetry.read_events(handle)
+    except OSError as exc:
+        print(f"profile: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"profile: {args.log} contains no telemetry events",
+              file=sys.stderr)
+        return 1
+    print(telemetry.render_profile(events, top=args.top))
+    return 0
+
+
+_TELEMETRY_HELP = (
+    "write spans + the final metrics snapshot as deterministic JSONL "
+    "events to this path (render with `repro profile`); with --jobs N "
+    "the snapshot is the merged fleet total over all worker processes. "
+    "See docs/observability.md."
+)
 
 
 _JOBS_HELP = (
@@ -282,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--dot", help="write learned model as Graphviz DOT")
     run.add_argument("--invariants", action="store_true")
+    run.add_argument("--telemetry", metavar="PATH", help=_TELEMETRY_HELP)
     run.set_defaults(fn=_cmd_run)
 
     base = sub.add_parser("baseline", help="run the random-sampling baseline")
@@ -368,7 +433,26 @@ def build_parser() -> argparse.ArgumentParser:
             "requires --segment-length)"
         ),
     )
+    table.add_argument("--telemetry", metavar="PATH", help=_TELEMETRY_HELP)
     table.set_defaults(fn=_cmd_table1)
+
+    profile = sub.add_parser(
+        "profile",
+        help="render a --telemetry JSONL log (span tree + counters)",
+        description=(
+            "Read a telemetry log written by `repro run --telemetry` or "
+            "`repro table1 --telemetry` and print the aggregated span "
+            "tree (total/self seconds per phase), the learn-phase share "
+            "(Table I %%Tm), and the top counters and gauges of the "
+            "final metrics snapshot. See docs/observability.md."
+        ),
+    )
+    profile.add_argument("log", help="telemetry JSONL file")
+    profile.add_argument(
+        "--top", type=int, default=10,
+        help="how many counters to show (default 10)",
+    )
+    profile.set_defaults(fn=_cmd_profile)
 
     return parser
 

@@ -2,7 +2,9 @@
 
 Condition extraction (§III-A), the completeness oracle with spuriousness
 handling (§III-B/C), counterexample-to-trace refinement, the main loop,
-metrics, and invariant extraction (§VI).
+metrics, and invariant extraction (§VI) — plus the unified telemetry
+layer (:mod:`repro.core.telemetry`: spans, metrics registry,
+deterministic JSONL export; see ``docs/observability.md``).
 """
 
 from .coverage import (
@@ -39,7 +41,9 @@ from .parallel import (
     SystemSpec,
     make_oracle,
 )
+from . import telemetry
 from .pool import BatchRun, PersistentWorkerPool, PoolWorker
+from .telemetry import MetricsRegistry, Span, TelemetrySession, Tracer
 from .refine import (
     AugmentResult,
     augment_traces,
@@ -58,6 +62,10 @@ __all__ = [
     "CrossCheckReport",
     "HoleClosingResult",
     "InvariantViolation",
+    "MetricsRegistry",
+    "Span",
+    "TelemetrySession",
+    "Tracer",
     "Condition",
     "ConditionKind",
     "ConditionOutcome",
@@ -72,6 +80,7 @@ __all__ = [
     "SystemSpec",
     "TableRow",
     "make_oracle",
+    "telemetry",
     "augment_traces",
     "close_holes",
     "cross_check",

@@ -21,6 +21,7 @@ from ..mc.spurious import SpuriousnessChecker
 from ..mc.verdicts import SpuriousVerdict
 from ..system.transition_system import SymbolicSystem
 from ..system.valuation import Valuation
+from . import telemetry
 from .conditions import Condition, ConditionKind
 
 
@@ -217,6 +218,30 @@ class CompletenessOracle:
         inconclusive-and-truncated, mirroring §III-C's
         valid-but-recorded treatment.
         """
+        with telemetry.span(
+            "oracle.check", kind=condition.kind.name.lower()
+        ) as check_span:
+            outcome = self._check(condition, deadline)
+            registry = telemetry.metrics()
+            if registry is not None:
+                check_span.set(
+                    holds=outcome.holds,
+                    strengthened=outcome.spurious_excluded,
+                )
+                registry.inc("oracle.conditions_checked")
+                registry.inc(
+                    "oracle.strengthening_rounds", outcome.spurious_excluded
+                )
+                registry.inc("oracle.solver_checks", outcome.solver_checks)
+                if not outcome.holds:
+                    registry.inc("oracle.violations")
+                if outcome.truncated:
+                    registry.inc("oracle.truncated")
+            return outcome
+
+    def _check(
+        self, condition: Condition, deadline: float | None = None
+    ) -> ConditionOutcome:
         if self._condition_validator is not None:
             self._condition_validator(condition)
         system = self._system

@@ -71,6 +71,7 @@ from ..mc.spurious import (
 )
 from ..system.transition_system import SymbolicSystem
 from ..system.valuation import Valuation
+from . import telemetry
 from .conditions import Condition
 from .oracle import CompletenessOracle, ConditionOutcome, OracleReport
 from .pool import ItemRunner, PersistentWorkerPool, PoolWorker
@@ -143,6 +144,10 @@ class OracleSpec:
     #: validating parent hands out validating workers -- the future job
     #: server's untrusted-spec front door inherits the check for free.
     validate: bool = False
+    #: Captured at construction from the parent's telemetry state:
+    #: workers of a telemetry-enabled parent run metrics-only sessions
+    #: and attach per-batch snapshot deltas to their batch replies.
+    telemetry: bool = False
     # Test-only crash injection: (worker_index, outcomes_before_exit).
     fault: tuple[int, int] | None = None
 
@@ -233,6 +238,7 @@ class ParallelCompletenessOracle:
             max_strengthenings=max_strengthenings,
             domain_assumption=domain_assumption,
             validate=validate,
+            telemetry=telemetry.enabled(),
             fault=_fault,
         )
         if validate:
@@ -382,6 +388,14 @@ class ParallelCompletenessOracle:
             raise RuntimeError("oracle is closed")
         if self._jobs == 1 or len(conditions) < 2:
             return self._serial_oracle().check_all(conditions, deadline=deadline)
+        with telemetry.span(
+            "oracle.check_all", jobs=self._jobs, conditions=len(conditions)
+        ):
+            return self._check_all_pooled(conditions, deadline)
+
+    def _check_all_pooled(
+        self, conditions: list[Condition], deadline: float | None
+    ) -> OracleReport:
         run = self._pool.run_batches(self._assign(conditions), deadline)
         outcomes: dict[int, ConditionOutcome] = run.results
 

@@ -11,7 +11,13 @@ processes and streams results back one item at a time:
 * parent → worker: ``("check", generation, [(index, item), ...],
   deadline | None)`` or ``("stop",)``;
 * worker → parent: one ``("one", generation, index, result)`` per item,
-  then ``("done", generation)`` per batch.
+  then ``("done", generation, snapshot | None)`` per batch, where
+  ``snapshot`` is the worker's metrics delta for the batch when the
+  spec carries a true ``telemetry`` attribute (the worker then runs a
+  metrics-only telemetry session; see :mod:`repro.core.telemetry`).
+  The parent folds the per-slot snapshots into the active session in
+  **slot order** — never completion order — so fleet totals are
+  deterministic run to run.
 
 Streaming per item is what lets the parent recover precisely when a
 worker dies mid-batch; the echoed generation lets it discard stale
@@ -47,6 +53,8 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait
 from typing import Any, Protocol, runtime_checkable
 
+from . import telemetry
+
 #: Per-item worker callable: (item, deadline) -> (result, stop_after).
 ItemRunner = Callable[[Any, float | None], tuple[Any, bool]]
 
@@ -60,6 +68,13 @@ class WorkerSpec(Protocol):
 
 def _pool_worker_main(spec: WorkerSpec, worker_index: int, conn: Connection) -> None:
     """Worker loop: rebuild the runner from the spec, then serve batches."""
+    session = None
+    last_snapshot = None
+    if getattr(spec, "telemetry", False):
+        # Metrics-only: spans are dropped (a long-lived worker would
+        # otherwise accumulate them without bound and they never ship).
+        session = telemetry.start(record_spans=False)
+        last_snapshot = session.metrics.snapshot()
     runner = spec.make_runner(worker_index)
     fault = getattr(spec, "fault", None)
     sent = 0
@@ -82,7 +97,15 @@ def _pool_worker_main(spec: WorkerSpec, worker_index: int, conn: Connection) -> 
             sent += 1
             if stop_after:
                 break
-        conn.send(("done", generation))
+        if session is None:
+            conn.send(("done", generation, None))
+        else:
+            snapshot = session.metrics.snapshot()
+            conn.send(
+                ("done", generation,
+                 telemetry.snapshot_delta(snapshot, last_snapshot))
+            )
+            last_snapshot = snapshot
     conn.close()
 
 
@@ -105,6 +128,8 @@ class BatchRun:
     retry: dict[int, Any] = field(default_factory=dict)
     #: how many workers died or refused dispatch during this run.
     failures: int = 0
+    #: slot -> metrics snapshot delta, for telemetry-enabled workers.
+    snapshots: dict[int, dict[str, Any]] = field(default_factory=dict)
 
 
 class PersistentWorkerPool:
@@ -243,6 +268,7 @@ class PersistentWorkerPool:
         batches: Sequence[Sequence[tuple[int, Any]]],
         deadline: float | None,
     ) -> BatchRun:
+        started = time.monotonic()
         run = BatchRun()
         pending: dict[int, dict[int, Any]] = {}
         active: dict[int, PoolWorker] = {}
@@ -281,6 +307,8 @@ class PersistentWorkerPool:
                     run.results[index] = result
                     pending[slot].pop(index, None)
                 elif message[0] == "done":
+                    if message[2] is not None:
+                        run.snapshots[slot] = message[2]
                     return "done"
             return "idle"
 
@@ -306,4 +334,19 @@ class PersistentWorkerPool:
                     run.failures += 1
                     run.retry.update(pending.pop(slot))
 
+        session = telemetry.active()
+        if session is not None:
+            # Slot order, not completion order: float sums are
+            # order-dependent, and this is what makes repeated --jobs N
+            # runs report byte-identical fleet totals.
+            for slot in sorted(run.snapshots):
+                session.absorb(run.snapshots[slot])
+            registry = session.metrics
+            registry.inc("pool.batches")
+            registry.inc("pool.items", len(run.results))
+            if run.failures:
+                registry.inc("pool.worker_failures", run.failures)
+            registry.observe(
+                "pool.batch_seconds", time.monotonic() - started
+            )
         return run

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass
 
 from .automata.compare import TransitionWitness, transition_match_score
+from .core import telemetry
 from .core.loop import ActiveLearner, ActiveLearningResult
 from .core.metrics import BaselineRow, TableRow
 from .core.conditions import extract_conditions
@@ -52,11 +53,18 @@ def fsa_witnesses(benchmark: Benchmark, spec: FsaSpec) -> list[TransitionWitness
 
 @dataclass
 class ActiveRunOutput:
-    """A Table I row plus the underlying artefacts."""
+    """A Table I row plus the underlying artefacts.
+
+    ``snapshot`` is the telemetry metrics snapshot taken right after the
+    run (``None`` when telemetry is disabled): the same aggregate the
+    ``--telemetry`` JSONL export ends with, so the row and the export
+    can be cross-checked against one source of truth.
+    """
 
     row: TableRow
     result: ActiveLearningResult
     d: float
+    snapshot: dict | None = None
 
 
 def run_active(
@@ -127,7 +135,13 @@ def run_active(
         validate=validate,
     ) as active:
         result = active.run(traces)
-    d = transition_match_score(result.model, fsa_witnesses(benchmark, spec))
+    with telemetry.span("eval.score", benchmark=benchmark.name, fsa=spec.name):
+        d = transition_match_score(
+            result.model, fsa_witnesses(benchmark, spec)
+        )
+    # Table I timing columns come from the run's span tree (the loop
+    # stamps total/learn seconds off its `loop.*` spans), so the row and
+    # a `--telemetry` export agree by construction.
     row = TableRow(
         benchmark=benchmark.name,
         fsa=spec.name,
@@ -141,7 +155,14 @@ def run_active(
         percent_learning=result.percent_learning,
         timed_out=result.timed_out,
     )
-    return ActiveRunOutput(row=row, result=result, d=d)
+    snapshot = None
+    session = telemetry.active()
+    if session is not None:
+        registry = session.metrics
+        registry.inc("eval.active_runs")
+        registry.gauge_max("eval.model_states", result.num_states)
+        snapshot = registry.snapshot()
+    return ActiveRunOutput(row=row, result=result, d=d, snapshot=snapshot)
 
 
 @dataclass

@@ -33,6 +33,15 @@ from ..sat.solver import Solver
 from ..traces.trace import TraceSet
 from .base import detect_mode_variables, infer_variables
 
+
+def _tel_metrics():
+    """Live metrics registry, or ``None`` (lazy import: this module is
+    inside the core package's import closure, see telemetry docstring)."""
+    from ..core.telemetry import active
+
+    session = active()
+    return None if session is None else session.metrics
+
 Event = Hashable
 
 
@@ -526,6 +535,10 @@ class SatDfaSession:
         self._log_pos = len(self._apt.label_log)
         self._solve()
         self.warm = False
+        registry = _tel_metrics()
+        if registry is not None:
+            registry.inc("learn.cold_learns")
+            registry.gauge_max("learn.dfa_size", self._search._n)
 
     def _solve(self) -> None:
         from .base import LearningError
@@ -562,6 +575,12 @@ class SatDfaSession:
         self._search.solver.maintain()
         self._solve()
         self.warm = True
+        registry = _tel_metrics()
+        if registry is not None:
+            registry.inc("learn.warm_learns")
+            # The size the resumed search settled at: warm iterations
+            # restart from here instead of size 1.
+            registry.gauge_max("learn.dfa_size", self._search._n)
         return self.model
 
     def reset(self) -> None:

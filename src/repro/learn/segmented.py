@@ -48,6 +48,14 @@ from ..traces.segment import segment_trace
 from ..traces.trace import Trace, TraceSet
 from .base import ModelLearner
 
+
+def _telemetry():
+    """The telemetry module (lazy import, see its docstring: modules
+    outside ``repro.core`` must not import it at module level)."""
+    from ..core import telemetry
+
+    return telemetry
+
 #: What one segment-learning task returns: the model plus the run
 #: windows the splicer aligns (entry = positions 0..w, exit = last w+1).
 SegmentResult = tuple[
@@ -68,6 +76,9 @@ class SegmentLearnSpec:
 
     learner: ModelLearner
     overlap: int
+    #: Captured at pool creation: workers of a telemetry-enabled parent
+    #: run metrics-only sessions and ship per-batch snapshot deltas back.
+    telemetry: bool = False
 
     def make_runner(self, worker_index: int) -> ItemRunner:
         def run(segment: Trace, deadline: float | None):
@@ -173,12 +184,22 @@ class SegmentedLearner:
         only the distinct-segment memo plus one segment-key reference
         per occurrence is retained — never the streams themselves.
         """
-        chains = self._ingest(streams)
-        if not any(chains):
-            raise ValueError("no events to learn from")
-        order = self._distinct_in_order(chains)
-        results = self._learn_distinct(order)
-        return self._splice(chains, results)
+        telemetry = _telemetry()
+        with telemetry.span("learn.segmented", jobs=self.jobs):
+            chains = self._ingest(streams)
+            if not any(chains):
+                raise ValueError("no events to learn from")
+            order = self._distinct_in_order(chains)
+            results = self._learn_distinct(order)
+            registry = telemetry.metrics()
+            if registry is not None:
+                registry.inc("segment.chains", self.stats.chains)
+                registry.inc("segment.segments", self.stats.segments)
+                registry.inc(
+                    "segment.distinct_segments", self.stats.distinct_segments
+                )
+                registry.inc("segment.memo_hits", self.stats.memo_hits)
+            return self._splice(chains, results)
 
     # -- pipeline stages (separable for the reorder tests) -------------
     def _ingest(
@@ -220,7 +241,9 @@ class SegmentedLearner:
             }
         if self._pool is None:
             self._pool = PersistentWorkerPool(
-                SegmentLearnSpec(self.base, self.overlap),
+                SegmentLearnSpec(
+                    self.base, self.overlap, telemetry=_telemetry().enabled()
+                ),
                 self.jobs,
                 start_method=self._start_method,
                 name="segment-learner",

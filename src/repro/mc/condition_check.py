@@ -25,6 +25,15 @@ from ..system.valuation import Valuation
 from .verdicts import ConditionCheckResult
 
 
+def _tel_metrics():
+    """Live metrics registry, or ``None`` (lazy import: this module is
+    inside the core package's import closure, see telemetry docstring)."""
+    from ..core.telemetry import active
+
+    session = active()
+    return None if session is None else session.metrics
+
+
 class IncrementalConditionChecker:
     """Condition checker over one persistent incremental solver.
 
@@ -93,7 +102,11 @@ class IncrementalConditionChecker:
                 # started from, so including it would make outcomes
                 # history-dependent again.  solver_checks counts logical
                 # queries; raw solve effort is in SmtSolver.stats.
-                model, _probes = self._minimise_model(model)
+                model, probes = self._minimise_model(model)
+                registry = _tel_metrics()
+                if registry is not None:
+                    registry.inc("oracle.canonical_probes", probes)
+                    registry.observe("oracle.canonical_probes_per_cex", probes)
             v_t = Valuation(
                 {var.name: model[var.name] for var in self._system.variables}
             )

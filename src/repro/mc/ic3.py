@@ -58,6 +58,16 @@ from ..system.transition_system import SymbolicSystem, shared_analysis
 from ..system.valuation import Valuation
 from .verdicts import SpuriousVerdict
 
+
+def _tel_metrics():
+    """Live metrics registry, or ``None`` (lazy import: this module is
+    inside the core package's import closure, see telemetry docstring)."""
+    from ..core.telemetry import active
+
+    session = active()
+    return None if session is None else session.metrics
+
+
 #: A (partial) assignment of state variables, as ordered (name, value)
 #: pairs following the system's state-variable declaration order.  Full
 #: cubes pin every state variable; generalization produces subcubes.
@@ -219,6 +229,9 @@ class Ic3Engine:
         act = Var(f"__ic3_act_{j}", BOOL)
         self._solver.add(implies(act, self.clause_expr(cube)))
         self.stats.clauses_added += 1
+        registry = _tel_metrics()
+        if registry is not None:
+            registry.observe("ic3.blocked_cube_size", len(cube))
         return True
 
     def _syntactically_blocked(self, i: int, cube: Cube) -> bool:
@@ -418,6 +431,36 @@ class Ic3Engine:
         observation is reachable iff its state part is, because inputs
         are free).  Always returns a definite answer.
         """
+        registry = _tel_metrics()
+        if registry is None:
+            return self._prove_unreachable(state)
+        stats = self.stats
+        before = (
+            stats.solver_checks,
+            stats.clauses_added,
+            stats.clauses_propagated,
+            stats.invariant_hits,
+            stats.generalization_drops,
+            stats.obligations,
+        )
+        result = self._prove_unreachable(state)
+        registry.inc("ic3.queries")
+        registry.inc("ic3.solver_checks", stats.solver_checks - before[0])
+        registry.inc("ic3.clauses_added", stats.clauses_added - before[1])
+        registry.inc(
+            "ic3.clauses_propagated", stats.clauses_propagated - before[2]
+        )
+        registry.inc("ic3.invariant_hits", stats.invariant_hits - before[3])
+        registry.inc(
+            "ic3.generalization_drops", stats.generalization_drops - before[4]
+        )
+        registry.inc("ic3.obligations", stats.obligations - before[5])
+        registry.gauge_max("ic3.frames", self.num_frames)
+        if result.refuting_cube is not None:
+            registry.observe("ic3.refuting_core_size", len(result.refuting_cube))
+        return result
+
+    def _prove_unreachable(self, state: Mapping[str, int]) -> Ic3Result:
         cube = self.cube_of(state)
         self.stats.queries += 1
         checks_before = self.stats.solver_checks

@@ -90,6 +90,15 @@ from ..system.valuation import Valuation
 from .verdicts import SpuriousVerdict
 
 
+def _tel_metrics():
+    """Live metrics registry, or ``None`` (lazy import: this module is
+    inside the core package's import closure, see telemetry docstring)."""
+    from ..core.telemetry import active
+
+    session = active()
+    return None if session is None else session.metrics
+
+
 class BddGateBuilder:
     """The gate-builder interface of :mod:`repro.smt.bitvec`, over BDDs.
 
@@ -629,9 +638,12 @@ class SharedBddContext:
 
     def image(self, frontier: int) -> int:
         """Post-image of ``frontier`` over current bits (memoised)."""
+        registry = _tel_metrics()
         cached = self._image_cache.get(frontier)
         if cached is not None:
             self.image_hits += 1
+            if registry is not None:
+                registry.inc("bdd.image_memo_hits")
             return cached
         image = self.image_once(frontier, partitioned=self.partitioned)
         manager = self.manager
@@ -639,6 +651,18 @@ class SharedBddContext:
         manager.protect(image)
         self._image_cache[frontier] = image
         self.image_computations += 1
+        if registry is not None:
+            registry.inc("bdd.image_steps")
+            if self._partition is not None:
+                part = self._partition
+                registry.gauge_max("bdd.clusters", len(part.clusters))
+                registry.gauge_max(
+                    "bdd.cluster_size_peak", max(part.cluster_sizes, default=0)
+                )
+                registry.gauge_max(
+                    "bdd.schedule_immediate", len(part.immediate)
+                )
+            manager.publish_metrics(registry)
         # Safe point: no structural recursion in flight, everything
         # long-lived is pinned.
         manager.maybe_reorder()

@@ -1,0 +1,49 @@
+"""Observability facade: re-exports of :mod:`repro.core.telemetry`.
+
+``from repro import obs`` is the short spelling for scripts and
+notebooks; the implementation (and the import-cycle rules that keep it
+stdlib-only) lives in :mod:`repro.core.telemetry`.  See
+``docs/observability.md`` for the naming scheme and export format.
+"""
+
+from .core.telemetry import (
+    NOOP_SPAN,
+    MetricsRegistry,
+    Span,
+    TelemetrySession,
+    Tracer,
+    active,
+    deterministic_view,
+    enabled,
+    export_jsonl,
+    merge_into,
+    metrics,
+    read_events,
+    render_profile,
+    session,
+    snapshot_delta,
+    span,
+    start,
+    stop,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "MetricsRegistry",
+    "Span",
+    "TelemetrySession",
+    "Tracer",
+    "active",
+    "deterministic_view",
+    "enabled",
+    "export_jsonl",
+    "merge_into",
+    "metrics",
+    "read_events",
+    "render_profile",
+    "session",
+    "snapshot_delta",
+    "span",
+    "start",
+    "stop",
+]

@@ -46,6 +46,21 @@ from collections.abc import Iterable, Sequence
 
 from .cnf import CNF
 
+
+def _tel_metrics():
+    """Live metrics registry, or ``None`` when telemetry is disabled.
+
+    Imported lazily so this module stays importable on its own: a
+    module-level ``from ..core import telemetry`` would execute
+    ``repro.core.__init__`` while this module is still half-initialised
+    (the core package transitively imports :class:`Solver`).
+    """
+    from ..core.telemetry import active
+
+    session = active()
+    return None if session is None else session.metrics
+
+
 _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1
@@ -97,6 +112,14 @@ class SolveResult:
     decisions: int = 0
     propagations: int = 0
     unsat_core: tuple[int, ...] | None = None
+    # Per-call attribution: the ``conflicts``/``decisions``/
+    # ``propagations`` fields above are cumulative since solver
+    # construction (session solvers live for whole runs), so the
+    # ``*_delta`` fields carry what *this* ``solve()`` call cost.
+    conflicts_delta: int = 0
+    decisions_delta: int = 0
+    propagations_delta: int = 0
+    learned_db_size: int = 0
 
     def value(self, var: int) -> bool:
         return self.model[var]
@@ -131,6 +154,7 @@ class Solver:
         self.decisions = 0
         self.propagations = 0
         self.solve_calls = 0
+        self._solve_base = (0, 0, 0)
         if cnf is not None:
             self.add_cnf(cnf)
 
@@ -548,6 +572,7 @@ class Solver:
         assumed implicitly.
         """
         self.solve_calls += 1
+        self._solve_base = (self.conflicts, self.decisions, self.propagations)
         assumed = list(assumptions) + sorted(self._groups.values())
         for lit in assumed:
             if abs(lit) > self._num_vars:
@@ -629,14 +654,27 @@ class Solver:
             model = {
                 v: self._assign[v] == _TRUE for v in range(1, self._num_vars + 1)
             }
-        return SolveResult(
+        base_c, base_d, base_p = self._solve_base
+        result = SolveResult(
             satisfiable,
             model=model,
             conflicts=self.conflicts,
             decisions=self.decisions,
             propagations=self.propagations,
             unsat_core=unsat_core,
+            conflicts_delta=self.conflicts - base_c,
+            decisions_delta=self.decisions - base_d,
+            propagations_delta=self.propagations - base_p,
+            learned_db_size=len(self._learned),
         )
+        registry = _tel_metrics()
+        if registry is not None:
+            registry.inc("sat.solve_calls")
+            registry.inc("sat.conflicts", result.conflicts_delta)
+            registry.inc("sat.decisions", result.decisions_delta)
+            registry.inc("sat.propagations", result.propagations_delta)
+            registry.gauge_max("sat.learned_db_peak", result.learned_db_size)
+        return result
 
 
 def solve_cnf(cnf: CNF, assumptions: Sequence[int] = ()) -> SolveResult:

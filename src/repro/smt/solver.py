@@ -22,6 +22,15 @@ from ..sat.solver import Solver
 from .encoder import Encoder
 
 
+def _tel_metrics():
+    """Live metrics registry, or ``None`` (lazy import: this module is
+    inside the core package's import closure, see telemetry docstring)."""
+    from ..core.telemetry import active
+
+    session = active()
+    return None if session is None else session.metrics
+
+
 class SmtSolver:
     """Assert expressions, check satisfiability, extract models."""
 
@@ -152,6 +161,12 @@ class SmtSolver:
         result = self._solver.solve(assumptions)
         self.stats["conflicts"] += self._solver.conflicts - conflicts_before
         self.stats["decisions"] += self._solver.decisions - decisions_before
+        registry = _tel_metrics()
+        if registry is not None:
+            registry.inc("smt.checks")
+            registry.inc("smt.conflicts", result.conflicts_delta)
+            registry.inc("smt.decisions", result.decisions_delta)
+            registry.gauge_max("smt.clauses_fed_peak", self._fed_clauses)
         if result.satisfiable:
             self._last_model = self._encoder.decode_model(result.model)
         else:

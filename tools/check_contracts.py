@@ -14,7 +14,9 @@ hash-consed expression core and the spawn-based worker pool:
   ``eid`` instead);
 * C004 -- no mutable default arguments;
 * C005 -- no ``time.time()`` in measured paths (use ``time.monotonic``
-  or ``time.perf_counter``).
+  or ``time.perf_counter``);
+* C006 -- telemetry span names must follow the documented dotted
+  lowercase scheme (``"component.phase"``; see docs/observability.md).
 
 Suppress a deliberate violation with ``# contract: ignore[CODE] reason``
 on the offending line or the line above; a suppression without a reason
