@@ -28,6 +28,17 @@ conventions.  This linter makes them enforced:
   call must be dotted lowercase ``component.phase`` (e.g.
   ``"oracle.check"``, ``"loop.learn"``; see ``docs/observability.md``) so
   profiles group consistently and exported logs stay greppable.
+* **C007** — ad-hoc algebraic rewriting outside the rule table.  A
+  function that both dispatches on several composite Expr classes
+  (``isinstance``/``type(..) is``) *and* rebuilds expressions through
+  the smart constructors is doing what ``expr/rewrite.py`` does — as an
+  untested one-off.  Algebraic rewrites belong in the rule table
+  (``expr/rules.py``), where the discrimination net matches them, the
+  telemetry counts them and the property suite checks them.  Pure
+  dispatchers (evaluators, encoders, printers: no smart-constructor
+  calls) and pure builders (no class dispatch) stay allowed;
+  ``expr/ast.py``, ``expr/rewrite.py`` and ``expr/rules.py`` are exempt
+  because they *are* the sanctioned home of such code.
 * **C000** — a suppression comment without a reason.
 
 Suppression syntax::
@@ -70,7 +81,22 @@ COMPOSITE_NODES = frozenset(
     }
 )
 
-_EXPR_MODULE = re.compile(r"(^|\.)expr(\.ast)?$|^ast$")
+#: Smart constructors whose calls mark a function as *building*
+#: expressions (one half of the C007 heuristic; the other half is
+#: dispatching on several composite node classes).
+SMART_CONSTRUCTORS = frozenset(
+    {
+        "land", "lor", "lnot", "implies", "iff", "eq", "ne", "lt", "le",
+        "gt", "ge", "add", "sub", "neg", "mul", "ite", "minimum",
+        "maximum",
+    }
+)
+
+#: How many distinct composite classes a function must dispatch on
+#: before C007 considers it a rewrite pass rather than a special case.
+_C007_MIN_CLASSES = 3
+
+_EXPR_MODULE = re.compile(r"(^|\.)expr(\.ast|\.rewrite|\.rules)?$|^ast$")
 _EXPR_KEYED = re.compile(
     r"\b(dict|Dict|set|Set|frozenset|defaultdict|OrderedDict|"
     r"WeakKeyDictionary|WeakValueDictionary)\s*\[\s*['\"]?Expr\b"
@@ -87,6 +113,10 @@ CODE_MESSAGES = {
     "C004": "mutable default argument",
     "C005": "time.time() in a measured path (use perf_counter)",
     "C006": "span name must be dotted lowercase component.phase",
+    "C007": (
+        "ad-hoc algebraic rewrite outside the rule table "
+        "(add a Rule in expr/rules.py)"
+    ),
 }
 
 #: The documented span-name shape: at least one dot, every segment
@@ -130,17 +160,21 @@ class _Suppressions:
 
 
 class _ContractVisitor(ast.NodeVisitor):
-    def __init__(self, path: str, in_expr_ast: bool):
+    def __init__(self, path: str, in_expr_ast: bool, c007_exempt: bool):
         self.path = path
         self.in_expr_ast = in_expr_ast
+        self.c007_exempt = c007_exempt
         self.findings: list[ContractFinding] = []
         # Local names bound by imports, so bare-name calls resolve.
         self.expr_node_names: set[str] = set()
+        self.smart_ctor_names: set[str] = set()
         self.deepcopy_names: set[str] = set()
         self.copy_modules: set[str] = set()
         self.time_fn_names: set[str] = set()
         self.time_modules: set[str] = set()
         self.scope_depth = 0  # >0 inside a function body
+        # C007: per-function frames of (dispatched classes, builder calls).
+        self._rewrite_frames: list[dict] = []
 
     # ------------------------------------------------------------------
     def _report(self, code: str, node: ast.AST, detail: str = "") -> None:
@@ -179,6 +213,8 @@ class _ContractVisitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in COMPOSITE_NODES:
                     self.expr_node_names.add(alias.asname or alias.name)
+                if alias.name in SMART_CONSTRUCTORS:
+                    self.smart_ctor_names.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
@@ -193,6 +229,10 @@ class _ContractVisitor(ast.NodeVisitor):
                 self._report("C002", node, "deepcopy(...)")
             if func.id in self.time_fn_names:
                 self._report("C005", node, "time(...)")
+            if func.id == "isinstance" and len(node.args) == 2:
+                self._note_dispatch(node.args[1])
+            if func.id in self.smart_ctor_names and self._rewrite_frames:
+                self._rewrite_frames[-1]["builds"] += 1
         elif isinstance(func, ast.Attribute) and isinstance(
             func.value, ast.Name
         ):
@@ -201,6 +241,41 @@ class _ContractVisitor(ast.NodeVisitor):
             if func.value.id in self.time_modules and func.attr == "time":
                 self._report("C005", node, "time.time()")
         self._check_span_name(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # C007: class dispatch + smart-constructor rebuild in one function
+    # ------------------------------------------------------------------
+    def _note_dispatch(self, classinfo: ast.AST) -> None:
+        """Record composite node classes named in an ``isinstance`` second
+        argument (a bare name or a tuple of names)."""
+        if not self._rewrite_frames:
+            return
+        names = (
+            list(classinfo.elts)
+            if isinstance(classinfo, ast.Tuple)
+            else [classinfo]
+        )
+        for item in names:
+            if isinstance(item, ast.Name) and item.id in self.expr_node_names:
+                self._rewrite_frames[-1]["classes"].add(item.id)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # ``type(x) is Cls`` counts as dispatch too.
+        if (
+            self._rewrite_frames
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.Is, ast.IsNot))
+            and isinstance(node.left, ast.Call)
+            and isinstance(node.left.func, ast.Name)
+            and node.left.func.id == "type"
+        ):
+            comparator = node.comparators[0]
+            if (
+                isinstance(comparator, ast.Name)
+                and comparator.id in self.expr_node_names
+            ):
+                self._rewrite_frames[-1]["classes"].add(comparator.id)
         self.generic_visit(node)
 
     def _check_span_name(self, node: ast.Call) -> None:
@@ -229,8 +304,23 @@ class _ContractVisitor(ast.NodeVisitor):
             if self._is_mutable_literal(default):
                 self._report("C004", default, ast.unparse(default))
         self.scope_depth += 1
+        self._rewrite_frames.append({"classes": set(), "builds": 0})
         self.generic_visit(node)
+        frame = self._rewrite_frames.pop()
         self.scope_depth -= 1
+        if (
+            not self.c007_exempt
+            and not isinstance(node, ast.Lambda)
+            and len(frame["classes"]) >= _C007_MIN_CLASSES
+            and frame["builds"] > 0
+        ):
+            self._report(
+                "C007",
+                node,
+                f"{node.name}() dispatches on "
+                f"{len(frame['classes'])} Expr classes and rebuilds via "
+                f"{frame['builds']} smart-constructor call(s)",
+            )
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
@@ -265,8 +355,11 @@ def lint_source(source: str, path: str) -> list[ContractFinding]:
     the ``expr/ast.py`` exemption."""
     normalized = path.replace("\\", "/")
     in_expr_ast = normalized.endswith("expr/ast.py")
+    c007_exempt = normalized.endswith(
+        ("expr/ast.py", "expr/rewrite.py", "expr/rules.py")
+    )
     tree = ast.parse(source, filename=path)
-    visitor = _ContractVisitor(path, in_expr_ast)
+    visitor = _ContractVisitor(path, in_expr_ast, c007_exempt)
     visitor.visit(tree)
     suppressions = _Suppressions(source)
     kept = [

@@ -652,6 +652,27 @@ def _aggregate_spans(events: list[dict[str, Any]]) -> _ProfileNode:
     return root
 
 
+def _rewrite_rule_rows(
+    counters: dict[str, int],
+) -> list[tuple[str, int, int]]:
+    """``(rule, fires, attempts)`` rows from the rewrite engine's
+    per-rule counters, ranked by payoff (fires, then attempts)."""
+    rows: dict[str, list[int]] = {}
+    prefix = "rewrite.rule."
+    for name, value in counters.items():
+        if not name.startswith(prefix):
+            continue
+        stem, _, metric = name[len(prefix):].rpartition(".")
+        if metric == "fires":
+            rows.setdefault(stem, [0, 0])[0] = value
+        elif metric == "attempts":
+            rows.setdefault(stem, [0, 0])[1] = value
+    return sorted(
+        ((rule, fires, attempts) for rule, (fires, attempts) in rows.items()),
+        key=lambda row: (-row[1], -row[2], row[0]),
+    )
+
+
 def render_profile(
     events: list[dict[str, Any]], *, top: int = 10
 ) -> str:
@@ -696,14 +717,34 @@ def render_profile(
         (e for e in reversed(events) if e.get("event") == "snapshot"), None
     )
     if snap is not None:
+        # Per-rule rewrite counters get their own ranked section below;
+        # keep the generic top-k list readable without them.
         counters = sorted(
-            snap["counters"].items(), key=lambda kv: (-kv[1], kv[0])
+            (
+                kv
+                for kv in snap["counters"].items()
+                if not kv[0].startswith("rewrite.rule.")
+            ),
+            key=lambda kv: (-kv[1], kv[0]),
         )
         if counters:
             lines.append(f"top {min(top, len(counters))} counters:")
             width = max(len(name) for name, _ in counters[:top])
             for name, value in counters[:top]:
                 lines.append(f"  {name:<{width}}  {value}")
+        rules = _rewrite_rule_rows(snap["counters"])
+        if rules:
+            shown = rules[:top]
+            lines.append(
+                f"top {len(shown)} rewrite rules (fires/attempts):"
+            )
+            width = max(len(rule) for rule, _, _ in shown)
+            for rule, fires, attempts in shown:
+                rate = 100.0 * fires / attempts if attempts else 0.0
+                lines.append(
+                    f"  {rule:<{width}}  {fires:>8} / {attempts:<8}"
+                    f"  ({rate:.1f}%)"
+                )
         if snap["gauges"]:
             lines.append("gauges:")
             width = max(len(name) for name in snap["gauges"])

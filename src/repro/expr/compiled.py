@@ -169,3 +169,9 @@ def compile_expr(expr: Expr) -> Callable[[Env], int]:
 def compiled_size() -> int:
     """Number of expressions compiled so far (introspection/benchmarks)."""
     return len(_COMPILED)
+
+
+def generated_source(expr: Expr) -> str:
+    """The Python source :func:`compile_expr` would execute for ``expr``
+    (introspection/benchmarks: its length tracks evaluator size)."""
+    return _generate(expr)

@@ -1,0 +1,844 @@
+"""Rewrite-rule engine: many-to-one matching over the hash-consed DAG.
+
+This module turns simplification into *data*: a rule is a pattern plus a
+builder function, and a :class:`RewriteEngine` owns an ordered table of
+rules compiled into a **discrimination net** so that matching hundreds
+of rules against a node costs one trie walk instead of one traversal
+per rule.  ``expr/rules.py`` holds the rule tables themselves;
+``expr/simplify.py`` dispatches the public :func:`simplify` entry point
+onto an engine instance.
+
+Pattern language
+----------------
+
+* :class:`PVar` -- a typed pattern variable.  Matches any subterm,
+  optionally constrained by node class (``klass``), sort kind
+  (``kind`` in ``{"bool", "int", "enum", "numeric"}``), constant-ness
+  (``const=True``) and an arbitrary predicate (``pred``).  Repeating a
+  name makes the pattern *nonlinear*: later occurrences must match the
+  identical interned node (identity ``is``, which is structural
+  equality in the hash-consed core).
+* :class:`PLit` -- exactly one interned leaf node (e.g. ``TRUE``).
+* :class:`PNode` -- a fixed-arity operator (``Not``, ``Eq``, ``Lt``,
+  ``Le``, ``Implies``, ``Iff``, ``Sub``, ``Neg``, ``Mul``, ``Ite``)
+  with sub-patterns for every child.
+* :class:`PAc` -- a variadic/commutative root (``And``, ``Or``,
+  ``Add``).  It matches the whole node; the rule's builder scans the
+  argument tuple itself (commutative-subset selection in the builder
+  keeps matching deterministic and avoids the exponential AC-matching
+  blowup -- the matchpy-style net still discriminates on the root).
+
+Discrimination net
+------------------
+
+Fixed patterns are flattened to their preorder symbol string; pattern
+variables become wildcard edges.  Terms are flattened the same way --
+memoised by ``eid`` and depth-capped at the tallest pattern, with
+subtrees below the cap collapsed to an opaque symbol only wildcards can
+consume -- so candidate lookup for a node visits each trie branch at
+most once and is O(1) amortised per shared subterm.  ``PAc`` rules are
+bucketed by root class.  Candidates come back in table order, so the
+net and the sequential fallback (:meth:`RewriteEngine.find_match` with
+``sequential=True``, kept for differential benchmarks) pick the same
+first match.
+
+Context environment
+-------------------
+
+While rebuilding a conjunction the engine collects *facts* from the
+immediate conjunct atoms (``x = c`` equalities, and in ``bounds`` mode
+interval constraints via ``analysis/sortcheck``) and threads them into
+the sibling arguments as a bounds environment ``{Var: (lo, hi)}``, so
+rules can prune nested disjuncts: ``x = c1 ∧ (y ∨ x = c2)`` drops the
+contradicting disjunct.  Soundness rule: a fact source is an immediate
+conjunct atom, and ctx-based **entailed→true** folds never fire on an
+immediate conjunct (``Match.at_conjunct_root``); otherwise two atoms
+could circularly fold each other away (``x=3 ∧ 3=x``).
+Contradiction→false folds are safe anywhere.
+
+Fixpoint contract
+-----------------
+
+``RewriteEngine.simplify`` carries the same memoised idempotent
+contract as the legacy pass: results are memoised per ``(eid, ctx)``,
+every intermediate form in a rewrite chain maps to the final form, and
+``simplify(simplify(e)) is simplify(e)`` holds.  Rule-level telemetry
+(match attempts, fires, fixpoint iterations) feeds PR 9's metrics
+registry when a run is instrumented; ``repro profile`` ranks rules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Optional, Union
+
+from .ast import (
+    Add,
+    And,
+    Const,
+    Eq,
+    Expr,
+    Iff,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Var,
+    add,
+    children,
+    eq,
+    free_vars,
+    iff,
+    implies,
+    ite,
+    land,
+    le,
+    lnot,
+    lor,
+    lt,
+    mul,
+    neg,
+    sub,
+)
+
+__all__ = [
+    "PVar",
+    "PLit",
+    "PNode",
+    "PAc",
+    "Pattern",
+    "Match",
+    "Rule",
+    "DiscriminationNet",
+    "RewriteEngine",
+    "match_pattern",
+    "pattern_height",
+]
+
+Bounds = tuple[int, int]
+Ctx = Optional[dict[Var, Bounds]]
+
+
+def _tel_metrics():
+    """Metrics registry when telemetry is active, else ``None``.
+
+    Lazy import: ``repro.core.telemetry`` must not be imported at
+    module load time from the expression core (layering/import cycle).
+    """
+    from ..core.telemetry import active
+
+    session = active()
+    return session.metrics if session is not None else None
+
+
+# ---------------------------------------------------------------------------
+# patterns
+# ---------------------------------------------------------------------------
+
+
+class Pattern:
+    """Base class for rule patterns."""
+
+    __slots__ = ()
+
+
+class PVar(Pattern):
+    """Typed pattern variable; see module docstring for constraints."""
+
+    __slots__ = ("name", "klass", "kind", "const", "pred")
+
+    def __init__(
+        self,
+        name: str,
+        klass: Union[type, tuple[type, ...], None] = None,
+        kind: str | None = None,
+        const: bool = False,
+        pred: Callable[[Expr], bool] | None = None,
+    ):
+        if kind not in (None, "bool", "int", "enum", "numeric"):
+            raise ValueError(f"unknown sort kind constraint {kind!r}")
+        self.name = name
+        self.klass = klass
+        self.kind = kind
+        self.const = const
+        self.pred = pred
+
+    def admits(self, node: Expr) -> bool:
+        if self.const and not isinstance(node, Const):
+            return False
+        if self.klass is not None and not isinstance(node, self.klass):
+            return False
+        kind = self.kind
+        if kind is not None:
+            sort = node.sort
+            if kind == "bool":
+                if not sort.is_bool():
+                    return False
+            elif kind == "int":
+                if not sort.is_int():
+                    return False
+            elif kind == "enum":
+                if not sort.is_enum():
+                    return False
+            elif not (sort.is_int() or sort.is_enum()):
+                return False
+        return self.pred is None or self.pred(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PVar({self.name!r})"
+
+
+class PLit(Pattern):
+    """Exactly one interned leaf node (``Var`` or ``Const``)."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Expr):
+        if children(node):
+            raise ValueError("PLit patterns must be leaves; use PNode")
+        self.node = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PLit({self.node!r})"
+
+
+# Fixed-arity composite classes a PNode may use, mapped to their net
+# edge symbol (And/Or/Add are variadic: use PAc).
+_NODE_SYMBOL: dict[type, tuple] = {
+    Not: ("!",),
+    Implies: ("=>",),
+    Iff: ("<=>",),
+    Eq: ("=",),
+    Lt: ("<",),
+    Le: ("<=",),
+    Sub: ("-",),
+    Neg: ("~",),
+    Mul: ("*",),
+    Ite: ("ite",),
+}
+
+
+class PNode(Pattern):
+    """Fixed-arity operator pattern with child sub-patterns."""
+
+    __slots__ = ("klass", "children")
+
+    _ARITY = {Not: 1, Neg: 1, Ite: 3}
+
+    def __init__(self, klass: type, kids: tuple[Pattern, ...]):
+        if klass not in _NODE_SYMBOL:
+            raise ValueError(
+                f"{klass.__name__} is not a fixed-arity pattern root; "
+                "use PAc for And/Or/Add"
+            )
+        arity = self._ARITY.get(klass, 2)
+        if len(kids) != arity:
+            raise ValueError(
+                f"{klass.__name__} pattern takes {arity} children, "
+                f"got {len(kids)}"
+            )
+        self.klass = klass
+        self.children = tuple(kids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PNode({self.klass.__name__}, {self.children!r})"
+
+
+class PAc(Pattern):
+    """Variadic root pattern (``And``/``Or``/``Add``): matches the whole
+    node; the rule builder scans ``match.node.args`` itself."""
+
+    __slots__ = ("klass",)
+
+    def __init__(self, klass: type):
+        if klass not in (And, Or, Add):
+            raise ValueError("PAc roots are And, Or or Add")
+        self.klass = klass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PAc({self.klass.__name__})"
+
+
+def p_not(a: Pattern) -> PNode:
+    return PNode(Not, (a,))
+
+
+def p_implies(a: Pattern, b: Pattern) -> PNode:
+    return PNode(Implies, (a, b))
+
+
+def p_iff(a: Pattern, b: Pattern) -> PNode:
+    return PNode(Iff, (a, b))
+
+
+def p_eq(a: Pattern, b: Pattern) -> PNode:
+    return PNode(Eq, (a, b))
+
+
+def p_lt(a: Pattern, b: Pattern) -> PNode:
+    return PNode(Lt, (a, b))
+
+
+def p_le(a: Pattern, b: Pattern) -> PNode:
+    return PNode(Le, (a, b))
+
+
+def p_ite(c: Pattern, t: Pattern, e: Pattern) -> PNode:
+    return PNode(Ite, (c, t, e))
+
+
+def p_and() -> PAc:
+    return PAc(And)
+
+
+def p_or() -> PAc:
+    return PAc(Or)
+
+
+def pattern_height(p: Pattern) -> int:
+    """Tree height of a pattern (leaves and AC roots count 1)."""
+    if isinstance(p, PNode):
+        return 1 + max(pattern_height(c) for c in p.children)
+    return 1
+
+
+def match_pattern(p: Pattern, node: Expr, bindings: dict[str, Expr]) -> bool:
+    """Confirm ``p`` against ``node``, extending ``bindings`` in place."""
+    if isinstance(p, PVar):
+        if not p.admits(node):
+            return False
+        bound = bindings.get(p.name)
+        if bound is not None:
+            return bound is node
+        bindings[p.name] = node
+        return True
+    if isinstance(p, PLit):
+        return node is p.node
+    if isinstance(p, PNode):
+        if type(node) is not p.klass:
+            return False
+        kids = children(node)
+        if len(kids) != len(p.children):
+            return False
+        return all(
+            match_pattern(cp, ck, bindings)
+            for cp, ck in zip(p.children, kids)
+        )
+    if isinstance(p, PAc):
+        return type(node) is p.klass
+    raise TypeError(f"unknown pattern {type(p).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# match result + rules
+# ---------------------------------------------------------------------------
+
+
+class Match:
+    """A confirmed match handed to a rule's guard and builder."""
+
+    __slots__ = ("node", "bindings", "ctx", "at_conjunct_root")
+
+    def __init__(
+        self,
+        node: Expr,
+        bindings: Mapping[str, Expr],
+        ctx: Ctx = None,
+        at_conjunct_root: bool = False,
+    ):
+        self.node = node
+        self.bindings = bindings
+        # Bounds environment from enclosing conjunct facts; None when
+        # no fact applies to this subterm's free variables.
+        self.ctx = ctx
+        # True when ``node`` is an immediate conjunct of the And that
+        # contributed ctx facts: entailed→true folds must not fire
+        # there (see module docstring on circular support).
+        self.at_conjunct_root = at_conjunct_root
+
+    def __getitem__(self, name: str) -> Expr:
+        return self.bindings[name]
+
+    def var_bounds(self, var: Expr) -> Bounds | None:
+        """Context bounds for ``var``, if any fact constrains it."""
+        if self.ctx is None or not isinstance(var, Var):
+            return None
+        return self.ctx.get(var)
+
+
+class Rule:
+    """One rewrite rule: pattern + optional guard + builder.
+
+    The builder returns the replacement expression, or ``None`` /
+    the matched node itself to decline (scan-style rules use this when
+    nothing in the argument tuple changes).
+    """
+
+    __slots__ = ("name", "pattern", "build", "guard", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        pattern: Pattern,
+        build: Callable[[Match], Expr | None],
+        guard: Callable[[Match], bool] | None = None,
+        doc: str = "",
+    ):
+        self.name = name
+        self.pattern = pattern
+        self.build = build
+        self.guard = guard
+        self.doc = doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rule({self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# term flattening + discrimination net
+# ---------------------------------------------------------------------------
+
+# Opaque symbol for subtrees below the flattening cap: only wildcard
+# edges can consume it (no pattern is deeper than the cap, so an exact
+# edge never needs to look inside).
+_DEEP = ("…",)
+
+# Flattened term strings, keyed by (eid, depth): append-only like the
+# intern table; shared subterms flatten once per depth.
+_FLAT_MEMO: dict[tuple[int, int], tuple] = {}
+
+
+def _symbol(node: Expr) -> tuple:
+    t = type(node)
+    if t is Var:
+        return ("v", node.name, node.sort, node.primed)
+    if t is Const:
+        return ("c", node.value, node.sort)
+    if t is And:
+        return ("&", len(node.args))
+    if t is Or:
+        return ("|", len(node.args))
+    if t is Add:
+        return ("+", len(node.args))
+    sym = _NODE_SYMBOL.get(t)
+    if sym is None:
+        raise TypeError(f"unknown expression node {t.__name__}")
+    return sym
+
+
+def flatten_term(node: Expr, depth: int) -> tuple:
+    """Depth-capped preorder flattening: ``((symbol, size), ...)`` where
+    ``size`` is the number of entries the subterm occupies (wildcard
+    edges skip exactly that many)."""
+    key = (node.eid, depth)
+    cached = _FLAT_MEMO.get(key)
+    if cached is not None:
+        return cached
+    kids = children(node)
+    if not kids:
+        out: tuple = ((_symbol(node), 1),)
+    elif depth <= 1:
+        out = ((_DEEP, 1),)
+    else:
+        parts = [flatten_term(k, depth - 1) for k in kids]
+        entries = [(_symbol(node), 1 + sum(len(p) for p in parts))]
+        for part in parts:
+            entries.extend(part)
+        out = tuple(entries)
+    _FLAT_MEMO[key] = out
+    return out
+
+
+class _Trie:
+    __slots__ = ("edges", "wild", "rules")
+
+    def __init__(self):
+        self.edges: dict[tuple, _Trie] = {}
+        self.wild: _Trie | None = None
+        self.rules: list[int] = []
+
+
+def _pattern_path(p: Pattern, out: list) -> None:
+    """Preorder path of net edges for a fixed pattern (None = wildcard)."""
+    if isinstance(p, PVar):
+        out.append(None)
+    elif isinstance(p, PLit):
+        out.append(_symbol(p.node))
+    elif isinstance(p, PNode):
+        out.append(_NODE_SYMBOL[p.klass])
+        for c in p.children:
+            _pattern_path(c, out)
+    else:
+        raise TypeError(f"{type(p).__name__} cannot appear inside a PNode")
+
+
+class DiscriminationNet:
+    """Trie over preorder symbol strings; one walk yields every rule
+    whose pattern can match the node, in table order."""
+
+    def __init__(self, rules: tuple[Rule, ...] | list[Rule]):
+        self._root = _Trie()
+        self._ac: dict[type, list[int]] = {}
+        self._height = 1
+        self._trivial: list[int] = []  # patterns that match leaves too
+        for index, rule in enumerate(rules):
+            p = rule.pattern
+            if isinstance(p, PAc):
+                self._ac.setdefault(p.klass, []).append(index)
+                continue
+            if isinstance(p, (PVar, PLit)):
+                raise ValueError(
+                    f"rule {rule.name!r}: root pattern must be a PNode "
+                    "or PAc (a bare variable would match every node)"
+                )
+            self._height = max(self._height, pattern_height(p))
+            path: list = []
+            _pattern_path(p, path)
+            node = self._root
+            for sym in path:
+                if sym is None:
+                    if node.wild is None:
+                        node.wild = _Trie()
+                    node = node.wild
+                else:
+                    node = node.edges.setdefault(sym, _Trie())
+            node.rules.append(index)
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def candidates(self, node: Expr) -> list[int]:
+        """Indices of rules whose pattern may match ``node`` (table
+        order; callers confirm with :func:`match_pattern`)."""
+        out = self._ac.get(type(node), [])
+        out = list(out)
+        flat = flatten_term(node, self._height)
+        self._walk(self._root, flat, 0, out)
+        if len(out) > 1:
+            out.sort()
+        return out
+
+    def _walk(self, trie: _Trie, flat: tuple, i: int, out: list[int]) -> None:
+        if i == len(flat):
+            out.extend(trie.rules)
+            return
+        sym, size = flat[i]
+        child = trie.edges.get(sym)
+        if child is not None:
+            self._walk(child, flat, i + 1, out)
+        if trie.wild is not None:
+            self._walk(trie.wild, flat, i + size, out)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+_EMPTY_BINDINGS: dict[str, Expr] = {}
+
+
+class RewriteEngine:
+    """Ordered rule table + discrimination net + memoised fixpoint.
+
+    ``context`` selects how conjunct facts are collected for sibling
+    pruning: ``None`` (no context), ``"eq"`` (``x = c`` equalities
+    only -- the default tier) or ``"bounds"`` (full interval narrowing
+    via ``analysis/sortcheck``, used by the extended tier).
+    """
+
+    # Bound on sibling-fact propagation rounds inside one conjunction
+    # rebuild; two rounds reach fixpoint in practice, the cap guards
+    # pathological rule sets.
+    _MAX_FACT_ROUNDS = 4
+
+    def __init__(
+        self,
+        rules,
+        *,
+        name: str = "rewrite",
+        context: str | None = "eq",
+    ):
+        if context not in (None, "eq", "bounds"):
+            raise ValueError(f"unknown context mode {context!r}")
+        self.name = name
+        self.rules: tuple[Rule, ...] = tuple(rules)
+        self.net = DiscriminationNet(self.rules)
+        self.context = context
+        # Fixpoints keyed by eid (no context) or (eid, ctx_key, root).
+        self._memo: dict[object, Expr] = {}
+        self._metrics = None
+
+    # -- public entry points ------------------------------------------------
+
+    def simplify(self, expr: Expr) -> Expr:
+        """Memoised idempotent fixpoint rewrite of ``expr``."""
+        cached = self._memo.get(expr.eid)
+        if cached is not None:
+            return cached
+        self._metrics = _tel_metrics()
+        try:
+            return self._simplify(expr, None, False)
+        finally:
+            self._metrics = None
+
+    def find_match(
+        self, expr: Expr, *, sequential: bool = False, ctx: Ctx = None
+    ) -> tuple[Rule, Expr] | None:
+        """First applicable ``(rule, result)`` for ``expr``, or ``None``.
+
+        ``sequential=True`` attempts every rule in table order without
+        the net -- the differential baseline for benchmarks; both modes
+        return the identical first match.
+        """
+        if sequential:
+            for rule in self.rules:
+                fired = self._try_rule(rule, expr, ctx, False)
+                if fired is not None:
+                    return fired
+            return None
+        for index in self.net.candidates(expr):
+            rule = self.rules[index]
+            fired = self._try_rule(rule, expr, ctx, False)
+            if fired is not None:
+                return fired
+        return None
+
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    def clear_memo(self) -> None:
+        """Drop memoised fixpoints (tests/benchmarks only)."""
+        self._memo.clear()
+
+    # -- matching -----------------------------------------------------------
+
+    def _try_rule(
+        self, rule: Rule, expr: Expr, ctx: Ctx, at_root: bool
+    ) -> tuple[Rule, Expr] | None:
+        pattern = rule.pattern
+        if isinstance(pattern, PAc):
+            if type(expr) is not pattern.klass:
+                return None
+            bindings = _EMPTY_BINDINGS
+        else:
+            bindings = {}
+            if not match_pattern(pattern, expr, bindings):
+                return None
+        match = Match(expr, bindings, ctx, at_root)
+        if rule.guard is not None and not rule.guard(match):
+            return None
+        result = rule.build(match)
+        if result is None or result is expr:
+            return None
+        return rule, result
+
+    def _apply_rules(self, expr: Expr, ctx: Ctx, at_root: bool) -> Expr:
+        metrics = self._metrics
+        for index in self.net.candidates(expr):
+            rule = self.rules[index]
+            if metrics is not None:
+                metrics.inc(f"rewrite.rule.{rule.name}.attempts")
+            fired = self._try_rule(rule, expr, ctx, at_root)
+            if fired is not None:
+                if metrics is not None:
+                    metrics.inc(f"rewrite.rule.{rule.name}.fires")
+                return fired[1]
+        return expr
+
+    # -- context environments ----------------------------------------------
+
+    def _restrict(self, ctx: Ctx, expr: Expr) -> Ctx:
+        """Facts relevant to ``expr`` (None when none apply)."""
+        if not ctx:
+            return None
+        free = free_vars(expr)
+        if not free:
+            return None
+        out = {v: b for v, b in ctx.items() if v in free}
+        return out or None
+
+    @staticmethod
+    def _ctx_key(ctx: dict[Var, Bounds]) -> tuple:
+        return tuple(
+            sorted((v.eid, b[0], b[1]) for v, b in ctx.items())
+        )
+
+    def _assume(self, env: dict[Var, Bounds], fact: Expr) -> dict[Var, Bounds]:
+        """Refine ``env`` under a conjunct ``fact``; unusable or
+        conflicting facts are skipped (weaker env stays sound)."""
+        if self.context == "bounds":
+            # Layering: the expression core must not import the
+            # analysis package at module load; narrow at call time.
+            from ..analysis.sortcheck import narrow_env
+
+            refined = narrow_env(env, fact)
+            return env if refined is None else refined
+        if isinstance(fact, Eq):
+            var, val = None, None
+            if isinstance(fact.lhs, Var) and isinstance(fact.rhs, Const):
+                var, val = fact.lhs, fact.rhs.value
+            elif isinstance(fact.rhs, Var) and isinstance(fact.lhs, Const):
+                var, val = fact.rhs, fact.lhs.value
+            if var is not None and not var.sort.is_bool():
+                old = env.get(var)
+                if old is not None and not (old[0] <= val <= old[1]):
+                    # Conflicting equalities: the table's contradiction
+                    # rule folds the conjunction; keep the env usable.
+                    return env
+                out = dict(env)
+                out[var] = (val, val)
+                return out
+        return env
+
+    # -- the fixpoint loop --------------------------------------------------
+
+    def _simplify(self, expr: Expr, ctx: Ctx, at_root: bool) -> Expr:
+        rctx = self._restrict(ctx, expr)
+        if rctx is None:
+            key: object = expr.eid
+            make_key = lambda e: e.eid  # noqa: E731
+        else:
+            ctx_key = self._ctx_key(rctx)
+            make_key = lambda e: (e.eid, ctx_key, at_root)  # noqa: E731
+            key = make_key(expr)
+        memo = self._memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        metrics = self._metrics
+        chain = [key]
+        visited = {expr}
+        current = expr
+        iterations = 0
+        while True:
+            step = self._apply_rules(
+                self._rebuild(current, rctx), rctx, at_root
+            )
+            iterations += 1
+            if step is current or step in visited:
+                break
+            visited.add(step)
+            step_key = make_key(step)
+            cached = memo.get(step_key)
+            if cached is not None:
+                current = cached
+                break
+            chain.append(step_key)
+            current = step
+        if metrics is not None:
+            metrics.inc("rewrite.fixpoint_iterations", iterations)
+        for seen_key in chain:
+            memo[seen_key] = current
+        memo[make_key(current)] = current
+        return current
+
+    def _rebuild(self, expr: Expr, ctx: Ctx) -> Expr:
+        """One bottom-up rebuild through the smart constructors, with
+        children simplified under the threaded context."""
+        t = type(expr)
+        if t is Not:
+            return lnot(self._simplify(expr.arg, ctx, False))
+        if t is And:
+            return self._rebuild_and(expr, ctx)
+        if t is Or:
+            return lor(
+                *(self._simplify(a, ctx, False) for a in expr.args)
+            )
+        if t is Implies:
+            return implies(
+                self._simplify(expr.lhs, ctx, False),
+                self._simplify(expr.rhs, ctx, False),
+            )
+        if t is Iff:
+            return iff(
+                self._simplify(expr.lhs, ctx, False),
+                self._simplify(expr.rhs, ctx, False),
+            )
+        if t is Eq:
+            return eq(
+                self._simplify(expr.lhs, ctx, False),
+                self._simplify(expr.rhs, ctx, False),
+            )
+        if t is Lt:
+            return lt(
+                self._simplify(expr.lhs, ctx, False),
+                self._simplify(expr.rhs, ctx, False),
+            )
+        if t is Le:
+            return le(
+                self._simplify(expr.lhs, ctx, False),
+                self._simplify(expr.rhs, ctx, False),
+            )
+        if t is Ite:
+            return self._rebuild_ite(expr, ctx)
+        if t is Add:
+            return add(*(self._simplify(a, ctx, False) for a in expr.args))
+        if t is Sub:
+            return sub(
+                self._simplify(expr.lhs, ctx, False),
+                self._simplify(expr.rhs, ctx, False),
+            )
+        if t is Neg:
+            return neg(self._simplify(expr.arg, ctx, False))
+        if t is Mul:
+            return mul(
+                self._simplify(expr.lhs, ctx, False),
+                self._simplify(expr.rhs, ctx, False),
+            )
+        return expr
+
+    def _rebuild_ite(self, expr: Ite, ctx: Ctx) -> Expr:
+        cond = self._simplify(expr.cond, ctx, False)
+        then_ctx = else_ctx = ctx
+        if self.context == "bounds":
+            from ..analysis.sortcheck import narrow_env
+
+            base = ctx or {}
+            then_ctx = narrow_env(base, cond)
+            else_ctx = narrow_env(base, cond, positive=False)
+            if then_ctx is None:
+                # cond is unsatisfiable under the enclosing facts.
+                return self._simplify(expr.other, else_ctx or ctx, False)
+            if else_ctx is None:
+                return self._simplify(expr.then, then_ctx or ctx, False)
+        return ite(
+            cond,
+            self._simplify(expr.then, then_ctx, False),
+            self._simplify(expr.other, else_ctx, False),
+        )
+
+    def _rebuild_and(self, expr: And, ctx: Ctx) -> Expr:
+        args = [self._simplify(a, ctx, False) for a in expr.args]
+        node = land(*args)
+        if self.context is None or not isinstance(node, And):
+            return node
+        # Propagate conjunct facts into siblings (nested-contradiction
+        # pruning); re-simplification is memo-cheap when nothing bites.
+        for _ in range(self._MAX_FACT_ROUNDS):
+            args = list(node.args)
+            base = dict(ctx) if ctx else {}
+            envs: list[dict[Var, Bounds]] = []
+            for i in range(len(args)):
+                env = base
+                for j, sibling in enumerate(args):
+                    if j != i:
+                        env = self._assume(env, sibling)
+                envs.append(env)
+            changed = False
+            new_args = []
+            for a, env in zip(args, envs):
+                na = self._simplify(a, env or None, True) if env else a
+                changed = changed or (na is not a)
+                new_args.append(na)
+            if not changed:
+                return node
+            node = land(*new_args)
+            if not isinstance(node, And):
+                return node
+        return node

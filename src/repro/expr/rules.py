@@ -1,0 +1,651 @@
+"""Rule tables for the rewrite engine (``expr/rewrite.py``).
+
+The rule set is *data*: every algebraic identity the simplifier knows
+lives here as a :class:`~repro.expr.rewrite.Rule`, grouped into two
+tiers --
+
+* :data:`DEFAULT_RULES` -- the four legacy ``simplify`` rules
+  re-expressed as table entries, plus the context-threaded
+  nested-contradiction rule (``x = c1 ∧ (y ∨ x = c2)`` prunes the
+  contradicting disjunct).  This tier backs the default :func:`simplify`
+  and is tuned to preserve the legacy pass's outputs on the golden
+  differential workloads.
+* :data:`EXTENDED_RULES` -- the rules the legacy pass could not state:
+  ITE lifting and branch-merging, negation normal-form pushing,
+  comparison chaining (``x < c1 ∧ x < c2 → x < min``),
+  constant-range propagation on comparisons (reusing
+  ``analysis/sortcheck``'s interval machinery through the match
+  context), and absorption/subsumption over And/Or.  This tier backs
+  ``deep_simplify`` and the presimplify hooks in the encoder and BDD
+  compiler.
+
+Extending the table per scenario family: build new :class:`Rule`
+entries (see ``docs/rewrite_engine.md``) and hand them to a
+:class:`~repro.expr.rewrite.RewriteEngine`;
+:func:`make_const_comparison_rules` shows the idiom by generating a
+family of per-constant comparison folds (also the ≥100-rule table used
+by ``benchmarks/test_simplify.py``).
+
+Soundness note for context rules: ``Match.ctx`` carries bounds implied
+by *sibling* conjuncts.  Folding a node to ``FALSE`` from those bounds
+is always sound; folding to ``TRUE`` is sound only off the conjunct
+root (``Match.at_conjunct_root``) -- see ``expr/rewrite.py``'s module
+docstring for the circular-support argument.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    Const,
+    Eq,
+    Expr,
+    FALSE,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    eq,
+    ite,
+    land,
+    le,
+    lnot,
+    lor,
+    lt,
+)
+from .rewrite import (
+    Match,
+    PAc,
+    PLit,
+    PVar,
+    Rule,
+    RewriteEngine,
+    p_eq,
+    p_implies,
+    p_ite,
+    p_le,
+    p_lt,
+    p_not,
+)
+from .types import EnumSort, IntSort
+
+__all__ = [
+    "DEFAULT_RULES",
+    "EXTENDED_RULES",
+    "default_engine",
+    "extended_engine",
+    "make_const_comparison_rules",
+]
+
+
+def _as_var_eq_const(expr: Expr) -> tuple[Var, int] | None:
+    if isinstance(expr, Eq):
+        if isinstance(expr.lhs, Var) and isinstance(expr.rhs, Const):
+            return expr.lhs, expr.rhs.value
+        if isinstance(expr.rhs, Var) and isinstance(expr.lhs, Const):
+            return expr.rhs, expr.lhs.value
+    return None
+
+
+def _bounds(m: Match, expr: Expr, with_ctx: bool) -> tuple[int, int]:
+    """Interval of ``expr``: declared sorts only, or context-refined."""
+    # Layering: the analysis package imports the expression core, so
+    # the interval machinery is pulled in at call time only.
+    from ..analysis.sortcheck import expr_bounds
+
+    return expr_bounds(expr, dict(m.ctx) if (with_ctx and m.ctx) else {})
+
+
+def _numeric(expr: Expr) -> bool:
+    return expr.sort.is_int() or expr.sort.is_enum()
+
+
+# ---------------------------------------------------------------------------
+# default tier: the legacy rules as table entries + context pruning
+# ---------------------------------------------------------------------------
+
+
+def _and_contradiction(m: Match) -> Expr | None:
+    """``x = c1 ∧ x = c2`` with ``c1 ≠ c2`` → false."""
+    seen: dict[Var, int] = {}
+    for arg in m.node.args:
+        pair = _as_var_eq_const(arg)
+        if pair is not None:
+            var, value = pair
+            if var in seen and seen[var] != value:
+                return FALSE
+            seen[var] = value
+    return None
+
+
+def _and_complement(m: Match) -> Expr | None:
+    """``a ∧ ¬a`` (anywhere in the argument tuple) → false."""
+    args = m.node.args
+    present = set(args)
+    for arg in args:
+        # Probe structurally instead of constructing lnot(arg): building
+        # a Not per argument would intern a garbage node per probe.
+        if type(arg) is Not and arg.arg in present:
+            return FALSE
+    return None
+
+
+def _or_complement(m: Match) -> Expr | None:
+    """``a ∨ ¬a`` → true."""
+    args = m.node.args
+    present = set(args)
+    for arg in args:
+        if type(arg) is Not and arg.arg in present:
+            return TRUE
+    return None
+
+
+def _or_enum_sweep(m: Match) -> Expr | None:
+    """``x = A ∨ x = B ∨ ...`` over every member of an enum → true."""
+    by_var: dict[Var, set[int]] = {}
+    for arg in m.node.args:
+        pair = _as_var_eq_const(arg)
+        if pair is not None and isinstance(pair[0].sort, EnumSort):
+            by_var.setdefault(pair[0], set()).add(pair[1])
+    for var, values in by_var.items():
+        if len(values) == var.sort.cardinality:
+            return TRUE
+    return None
+
+
+def _implies_refl(m: Match) -> Expr:
+    """``a ⇒ a`` → true (nonlinear pattern: both sides bind ``a``)."""
+    return TRUE
+
+
+def _eq_ctx(m: Match) -> Expr | None:
+    """Fold ``x = c`` under sibling-conjunct facts.
+
+    Contradiction → false fires at any position (default tier);
+    entailment → true only off the conjunct root and only in engines
+    whose table includes :data:`_EQ_CTX_ENTAILED`.
+    """
+    pair = _as_var_eq_const(m.node)
+    if pair is None:
+        return None
+    var, value = pair
+    bounds = m.var_bounds(var)
+    if bounds is None:
+        return None
+    if not bounds[0] <= value <= bounds[1]:
+        return FALSE
+    return None
+
+
+def _eq_ctx_entailed(m: Match) -> Expr | None:
+    pair = _as_var_eq_const(m.node)
+    if pair is None:
+        return None
+    var, value = pair
+    bounds = m.var_bounds(var)
+    if bounds == (value, value) and not m.at_conjunct_root:
+        return TRUE
+    return None
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    Rule(
+        "and_contradiction",
+        PAc(And),
+        _and_contradiction,
+        doc="x = c1 ∧ x = c2 → false (c1 ≠ c2)",
+    ),
+    Rule("and_complement", PAc(And), _and_complement, doc="a ∧ ¬a → false"),
+    Rule("or_complement", PAc(Or), _or_complement, doc="a ∨ ¬a → true"),
+    Rule(
+        "or_enum_sweep",
+        PAc(Or),
+        _or_enum_sweep,
+        doc="x = A ∨ ... over all enum members → true",
+    ),
+    Rule(
+        "implies_refl",
+        p_implies(PVar("a"), PVar("a")),
+        _implies_refl,
+        doc="a ⇒ a → true",
+    ),
+    Rule(
+        "eq_ctx_contradiction",
+        p_eq(PVar("a"), PVar("b")),
+        _eq_ctx,
+        doc="x = c under conjunct facts excluding c → false",
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# extended tier: ITE lifting/merging, NNF, chaining, range propagation,
+# absorption/subsumption
+# ---------------------------------------------------------------------------
+
+
+def _not_over_and(m: Match) -> Expr:
+    return lor(*(lnot(a) for a in m["a"].args))
+
+
+def _not_over_or(m: Match) -> Expr:
+    return land(*(lnot(a) for a in m["a"].args))
+
+
+def _not_over_implies(m: Match) -> Expr:
+    inner = m["a"]
+    return land(inner.lhs, lnot(inner.rhs))
+
+
+def _not_over_lt(m: Match) -> Expr:
+    inner = m["a"]
+    return le(inner.rhs, inner.lhs)
+
+
+def _not_over_le(m: Match) -> Expr:
+    inner = m["a"]
+    return lt(inner.rhs, inner.lhs)
+
+
+def _not_over_ite(m: Match) -> Expr:
+    inner = m["a"]
+    return ite(inner.cond, lnot(inner.then), lnot(inner.other))
+
+
+def _ite_bool_branch(m: Match) -> Expr | None:
+    """Boolean ITE with a constant branch → plain connectives."""
+    cond, then, other = m["c"], m["t"], m["e"]
+    if then is TRUE:
+        return lor(cond, other)
+    if then is FALSE:
+        return land(lnot(cond), other)
+    if other is TRUE:
+        return lor(lnot(cond), then)
+    if other is FALSE:
+        return land(cond, then)
+    return None
+
+
+def _ite_negated_cond(m: Match) -> Expr:
+    return ite(m["c"].arg, m["e"], m["t"])
+
+
+def _ite_branch_merge(m: Match) -> Expr | None:
+    """Nested ITE on the same condition collapses to one decision."""
+    cond, then, other = m["c"], m["t"], m["e"]
+    if isinstance(then, Ite) and then.cond is cond:
+        return ite(cond, then.then, other)
+    if isinstance(other, Ite) and other.cond is cond:
+        return ite(cond, then, other.other)
+    return None
+
+
+def _eq_ite_lift(m: Match) -> Expr | None:
+    """``ite(c, t, e) = k`` → ``ite(c, t = k, e = k)`` (k constant)."""
+    for branch, const in ((m["a"], m["b"]), (m["b"], m["a"])):
+        if (
+            isinstance(branch, Ite)
+            and _numeric(branch)
+            and isinstance(const, Const)
+        ):
+            return ite(
+                branch.cond,
+                eq(branch.then, const),
+                eq(branch.other, const),
+            )
+    return None
+
+
+def _fold_cmp(m: Match, lhs: Expr, rhs: Expr, strict: bool) -> Expr | None:
+    """Interval-fold a comparison ``lhs (<|<=) rhs``.
+
+    Context-free folds (declared/derived sorts only) are safe anywhere;
+    folds that need the sibling-fact context obey the
+    ``at_conjunct_root`` true-fold guard.
+    """
+    for with_ctx in (False, True):
+        if with_ctx and not m.ctx:
+            return None
+        lo1, hi1 = _bounds(m, lhs, with_ctx)
+        lo2, hi2 = _bounds(m, rhs, with_ctx)
+        if (hi1 < lo2) if strict else (hi1 <= lo2):
+            if with_ctx and m.at_conjunct_root:
+                return None
+            return TRUE
+        if (lo1 >= hi2) if strict else (lo1 > hi2):
+            return FALSE
+    return None
+
+
+def _lt_bounds(m: Match) -> Expr | None:
+    return _fold_cmp(m, m["a"], m["b"], strict=True)
+
+
+def _le_bounds(m: Match) -> Expr | None:
+    return _fold_cmp(m, m["a"], m["b"], strict=False)
+
+
+def _eq_bounds(m: Match) -> Expr | None:
+    lhs, rhs = m["a"], m["b"]
+    if not (_numeric(lhs) and _numeric(rhs)):
+        return None
+    for with_ctx in (False, True):
+        if with_ctx and not m.ctx:
+            return None
+        lo1, hi1 = _bounds(m, lhs, with_ctx)
+        lo2, hi2 = _bounds(m, rhs, with_ctx)
+        if hi1 < lo2 or hi2 < lo1:
+            return FALSE
+        if lo1 == hi1 == lo2 == hi2:
+            if with_ctx and m.at_conjunct_root:
+                return None
+            return TRUE
+    return None
+
+
+def _cmp_bound(arg: Expr) -> tuple[Expr, str, int] | None:
+    """Decompose ``arg`` as an upper/lower constant bound on an operand:
+    returns ``(operand, "hi"|"lo", inclusive_bound)``."""
+    if isinstance(arg, Lt):
+        if isinstance(arg.rhs, Const):
+            return (arg.lhs, "hi", arg.rhs.value - 1)
+        if isinstance(arg.lhs, Const):
+            return (arg.rhs, "lo", arg.lhs.value + 1)
+    elif isinstance(arg, Le):
+        if isinstance(arg.rhs, Const):
+            return (arg.lhs, "hi", arg.rhs.value)
+        if isinstance(arg.lhs, Const):
+            return (arg.rhs, "lo", arg.lhs.value)
+    return None
+
+
+def _cmp_chain_and(m: Match) -> Expr | None:
+    """``x < c1 ∧ x < c2 → x < min`` -- keep the tightest bound per
+    operand and direction; conflicting bounds fold the conjunction."""
+    best: dict[tuple[int, str], tuple[int, int]] = {}  # -> (bound, pos)
+    for pos, arg in enumerate(m.node.args):
+        decomposed = _cmp_bound(arg)
+        if decomposed is None:
+            continue
+        operand, direction, bound = decomposed
+        key = (operand.eid, direction)
+        held = best.get(key)
+        if held is None or (
+            bound < held[0] if direction == "hi" else bound > held[0]
+        ):
+            best[key] = (bound, pos)
+    if not best:
+        return None
+    keep: set[int] = set()
+    for (operand_eid, direction), (bound, pos) in best.items():
+        other = best.get((operand_eid, "lo" if direction == "hi" else "hi"))
+        if direction == "hi" and other is not None and other[0] > bound:
+            return FALSE
+        keep.add(pos)
+    args = [
+        arg
+        for pos, arg in enumerate(m.node.args)
+        if _cmp_bound(arg) is None or pos in keep
+    ]
+    if len(args) == len(m.node.args):
+        return None
+    return land(*args)
+
+
+def _cmp_chain_or(m: Match) -> Expr | None:
+    """Dual chaining on disjunctions: keep the loosest bound per operand
+    and direction; complementary bounds covering the line fold to true."""
+    best: dict[tuple[int, str], tuple[int, int]] = {}
+    for pos, arg in enumerate(m.node.args):
+        decomposed = _cmp_bound(arg)
+        if decomposed is None:
+            continue
+        operand, direction, bound = decomposed
+        key = (operand.eid, direction)
+        held = best.get(key)
+        if held is None or (
+            bound > held[0] if direction == "hi" else bound < held[0]
+        ):
+            best[key] = (bound, pos)
+    if not best:
+        return None
+    keep: set[int] = set()
+    for (operand_eid, direction), (bound, pos) in best.items():
+        other = best.get((operand_eid, "lo" if direction == "hi" else "hi"))
+        if direction == "hi" and other is not None and other[0] <= bound + 1:
+            return TRUE
+        keep.add(pos)
+    args = [
+        arg
+        for pos, arg in enumerate(m.node.args)
+        if _cmp_bound(arg) is None or pos in keep
+    ]
+    if len(args) == len(m.node.args):
+        return None
+    return lor(*args)
+
+
+def _absorb_and(m: Match) -> Expr | None:
+    """Absorption ``a ∧ (a ∨ b) → a`` and Or-superset subsumption."""
+    args = m.node.args
+    atom_eids = {a.eid for a in args if not isinstance(a, Or)}
+    or_sets = {
+        pos: frozenset(x.eid for x in a.args)
+        for pos, a in enumerate(args)
+        if isinstance(a, Or)
+    }
+    drop: set[int] = set()
+    for pos, eids in or_sets.items():
+        if eids & atom_eids:
+            drop.add(pos)
+            continue
+        for other_pos, other_eids in or_sets.items():
+            if other_pos != pos and other_eids < eids:
+                drop.add(pos)
+                break
+    if not drop:
+        return None
+    return land(*(a for pos, a in enumerate(args) if pos not in drop))
+
+
+def _absorb_or(m: Match) -> Expr | None:
+    """Absorption ``a ∨ (a ∧ b) → a`` and And-superset subsumption."""
+    args = m.node.args
+    atom_eids = {a.eid for a in args if not isinstance(a, And)}
+    and_sets = {
+        pos: frozenset(x.eid for x in a.args)
+        for pos, a in enumerate(args)
+        if isinstance(a, And)
+    }
+    drop: set[int] = set()
+    for pos, eids in and_sets.items():
+        if eids & atom_eids:
+            drop.add(pos)
+            continue
+        for other_pos, other_eids in and_sets.items():
+            if other_pos != pos and other_eids < eids:
+                drop.add(pos)
+                break
+    if not drop:
+        return None
+    return lor(*(a for pos, a in enumerate(args) if pos not in drop))
+
+
+def _bool_ite(m: Match) -> bool:
+    return m["t"].sort.is_bool()
+
+
+EXTENDED_RULES: tuple[Rule, ...] = DEFAULT_RULES + (
+    Rule(
+        "eq_ctx_entailed",
+        p_eq(PVar("a"), PVar("b")),
+        _eq_ctx_entailed,
+        doc="x = c entailed by conjunct facts → true (off conjunct root)",
+    ),
+    Rule(
+        "ite_bool_branch",
+        p_ite(PVar("c"), PVar("t"), PVar("e")),
+        _ite_bool_branch,
+        guard=_bool_ite,
+        doc="ite with a constant boolean branch → connectives",
+    ),
+    Rule(
+        "ite_negated_cond",
+        p_ite(PVar("c", klass=Not), PVar("t"), PVar("e")),
+        _ite_negated_cond,
+        doc="ite(¬c, t, e) → ite(c, e, t)",
+    ),
+    Rule(
+        "ite_branch_merge",
+        p_ite(PVar("c"), PVar("t"), PVar("e")),
+        _ite_branch_merge,
+        doc="ite(c, ite(c, a, _), e) → ite(c, a, e) (and dual)",
+    ),
+    Rule(
+        "eq_ite_lift",
+        p_eq(PVar("a"), PVar("b")),
+        _eq_ite_lift,
+        doc="ite(c, t, e) = k → ite(c, t = k, e = k)",
+    ),
+    Rule(
+        "lt_bounds",
+        p_lt(PVar("a", kind="numeric"), PVar("b", kind="numeric")),
+        _lt_bounds,
+        doc="interval-fold a < b (context-refined ranges)",
+    ),
+    Rule(
+        "le_bounds",
+        p_le(PVar("a", kind="numeric"), PVar("b", kind="numeric")),
+        _le_bounds,
+        doc="interval-fold a <= b (context-refined ranges)",
+    ),
+    Rule(
+        "eq_bounds",
+        p_eq(PVar("a"), PVar("b")),
+        _eq_bounds,
+        doc="interval-fold a = b (disjoint → false, pinned → true)",
+    ),
+    Rule(
+        "cmp_chain_and",
+        PAc(And),
+        _cmp_chain_and,
+        doc="x < c1 ∧ x < c2 → x < min(c1, c2)",
+    ),
+    Rule(
+        "cmp_chain_or",
+        PAc(Or),
+        _cmp_chain_or,
+        doc="x < c1 ∨ x < c2 → x < max(c1, c2)",
+    ),
+    Rule("absorb_and", PAc(And), _absorb_and, doc="a ∧ (a ∨ b) → a"),
+    Rule("absorb_or", PAc(Or), _absorb_or, doc="a ∨ (a ∧ b) → a"),
+    Rule(
+        "not_over_and",
+        p_not(PVar("a", klass=And)),
+        _not_over_and,
+        doc="¬(a ∧ b) → ¬a ∨ ¬b",
+    ),
+    Rule(
+        "not_over_or",
+        p_not(PVar("a", klass=Or)),
+        _not_over_or,
+        doc="¬(a ∨ b) → ¬a ∧ ¬b",
+    ),
+    Rule(
+        "not_over_implies",
+        p_not(PVar("a", klass=Implies)),
+        _not_over_implies,
+        doc="¬(a ⇒ b) → a ∧ ¬b",
+    ),
+    Rule(
+        "not_over_lt",
+        p_not(PVar("a", klass=Lt)),
+        _not_over_lt,
+        doc="¬(a < b) → b ≤ a",
+    ),
+    Rule(
+        "not_over_le",
+        p_not(PVar("a", klass=Le)),
+        _not_over_le,
+        doc="¬(a ≤ b) → b < a",
+    ),
+    Rule(
+        "not_over_ite",
+        p_not(PVar("a", klass=Ite, kind="bool")),
+        _not_over_ite,
+        doc="¬ite(c, a, b) → ite(c, ¬a, ¬b)",
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# per-constant rule families (extensibility idiom; benchmark scale)
+# ---------------------------------------------------------------------------
+
+
+def make_const_comparison_rules(values) -> list[Rule]:
+    """Per-constant comparison folds: four rules per value ``c``, each
+    anchored on the exact interned constant so the discrimination net
+    discriminates on it (a family like this is how a scenario adds
+    domain constants without touching the engine)."""
+    rules: list[Rule] = []
+    for value in values:
+        const = Const(value, IntSort(value, value))
+        lit = PLit(const)
+        operand = PVar("a", kind="numeric")
+
+        def fold(m: Match, _c=const, _flip=False, _strict=True):
+            lhs, rhs = ((_c, m["a"]) if _flip else (m["a"], _c))
+            return _fold_cmp(m, lhs, rhs, strict=_strict)
+
+        for name, pattern, flip, strict in (
+            (f"lt_const_{value}", p_lt(operand, lit), False, True),
+            (f"le_const_{value}", p_le(operand, lit), False, False),
+            (f"gt_const_{value}", p_lt(lit, operand), True, True),
+            (f"ge_const_{value}", p_le(lit, operand), True, False),
+        ):
+            rules.append(
+                Rule(
+                    name,
+                    pattern,
+                    (
+                        lambda m, _f=fold, _flip=flip, _strict=strict: _f(
+                            m, _flip=_flip, _strict=_strict
+                        )
+                    ),
+                    doc=f"interval-fold comparison against {value}",
+                )
+            )
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# shared engine instances
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE: RewriteEngine | None = None
+_EXTENDED_ENGINE: RewriteEngine | None = None
+
+
+def default_engine() -> RewriteEngine:
+    """Process-wide engine backing the default :func:`simplify`."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = RewriteEngine(
+            DEFAULT_RULES, name="default", context="eq"
+        )
+    return _DEFAULT_ENGINE
+
+
+def extended_engine() -> RewriteEngine:
+    """Process-wide engine backing ``deep_simplify``."""
+    global _EXTENDED_ENGINE
+    if _EXTENDED_ENGINE is None:
+        _EXTENDED_ENGINE = RewriteEngine(
+            EXTENDED_RULES, name="extended", context="bounds"
+        )
+    return _EXTENDED_ENGINE

@@ -1,40 +1,100 @@
 """Local simplification of expressions.
 
-The smart constructors in :mod:`repro.expr.ast` already fold constants as
-expressions are built; :func:`simplify` re-runs that folding over a whole
-tree (useful after substitution) and applies a handful of extra local
-rules that keep learned guards and extracted invariants readable:
+The smart constructors in :mod:`repro.expr.ast` already fold constants
+as expressions are built; :func:`simplify` re-runs that folding over a
+whole tree (useful after substitution) and applies the algebraic rules
+that keep learned guards and extracted invariants readable.
 
-* ``x = c1 ∧ x = c2`` with ``c1 ≠ c2``  →  ``false``
-* ``x = c1 ∨ x ≠ c1`` →  ``true``  (complement detection in general)
-* enum equality sweeps: ``x = A ∨ x = B ∨ ... `` over *all* members → ``true``
-* implication with syntactically identical sides → ``true``
+The rules themselves are **data**: see the rule tables in
+:mod:`repro.expr.rules` (``DEFAULT_RULES`` is the authoritative list of
+what the default pass does, rule by rule, including the
+context-threaded nested-contradiction pruning) and the matching engine
+in :mod:`repro.expr.rewrite`.  Three backends share this entry point:
 
-``simplify`` is memoised by node identity (hash-consed core) and
-*idempotent*: the rules are iterated to a fixpoint, and the fixpoint is
-recorded for every intermediate form, so ``simplify(simplify(e)) is
-simplify(e)`` always holds and repeated simplification of shared
-predicates costs one dictionary lookup.
+* ``engine`` (default) -- ``DEFAULT_RULES`` on the discrimination-net
+  engine; output-compatible with the legacy pass on the golden
+  differential workloads, plus nested contradiction pruning.
+* ``legacy`` -- the original hand-coded pass (:func:`legacy_simplify`),
+  kept callable for differential testing.
+* ``deep``  -- ``EXTENDED_RULES`` (:func:`deep_simplify`): ITE
+  lifting/merging, NNF pushing, comparison chaining, constant-range
+  propagation, absorption/subsumption.  Opt-in: it changes expression
+  *shapes* (while preserving semantics), so the bit-for-bit pinned
+  workloads run it only through explicit presimplify hooks.
+
+Select the backend with :func:`set_simplify_backend` (CLI:
+``--simplify``; environment: ``REPRO_SIMPLIFY``).
+
+Whatever the backend, ``simplify`` is memoised by node identity
+(hash-consed core) and *idempotent*: rules are iterated to a fixpoint,
+the fixpoint is recorded for every intermediate form, and
+``simplify(simplify(e)) is simplify(e)`` always holds, so repeated
+simplification of shared predicates costs one dictionary lookup.
 """
 
 from __future__ import annotations
 
+import os
+
 from .ast import And, Const, Eq, Expr, FALSE, Not, Or, TRUE, Var, land, lnot, lor
+from .rules import default_engine, extended_engine
 from .subst import transform
 from .types import EnumSort
 
-# simplify() results, keyed by eid (identity ≡ structure for interned
-# nodes, and integer keys survive spawn re-interning).  Append-only,
-# like the intern table itself; every entry maps its node's (also
-# memoised) fixpoint.
-_SIMPLIFY_MEMO: dict[int, Expr] = {}
+_BACKENDS = ("engine", "legacy", "deep")
+
+_BACKEND = os.environ.get("REPRO_SIMPLIFY", "engine")
+if _BACKEND not in _BACKENDS:  # pragma: no cover - env misconfiguration
+    raise ValueError(
+        f"REPRO_SIMPLIFY={_BACKEND!r}: expected one of {_BACKENDS}"
+    )
+
+
+def set_simplify_backend(mode: str) -> None:
+    """Select the backend behind :func:`simplify` for this process."""
+    global _BACKEND
+    if mode not in _BACKENDS:
+        raise ValueError(
+            f"unknown simplify backend {mode!r}: expected one of {_BACKENDS}"
+        )
+    _BACKEND = mode
+
+
+def simplify_backend() -> str:
+    return _BACKEND
 
 
 def simplify(expr: Expr) -> Expr:
-    """Rebuild through smart constructors, then apply local rules.
+    """Simplify ``expr`` under the selected backend (see module docs)."""
+    if _BACKEND == "engine":
+        return default_engine().simplify(expr)
+    if _BACKEND == "deep":
+        return extended_engine().simplify(expr)
+    return legacy_simplify(expr)
 
-    Iterates to a fixpoint (flattening can expose new complement pairs),
-    so the result is stable under further simplification.
+
+def deep_simplify(expr: Expr) -> Expr:
+    """Simplify with the extended rule tier regardless of the backend."""
+    return extended_engine().simplify(expr)
+
+
+# ---------------------------------------------------------------------------
+# the legacy hand-coded pass (differential baseline)
+# ---------------------------------------------------------------------------
+
+# legacy_simplify() results, keyed by eid (identity ≡ structure for
+# interned nodes, and integer keys survive spawn re-interning).
+# Append-only, like the intern table itself; every entry maps its
+# node's (also memoised) fixpoint.
+_SIMPLIFY_MEMO: dict[int, Expr] = {}
+
+
+def legacy_simplify(expr: Expr) -> Expr:
+    """The pre-engine pass: rebuild through smart constructors, then
+    apply the four original local rules, iterated to a fixpoint.
+
+    Kept callable for differential testing against the rule-table
+    engine; new rules go in ``expr/rules.py``, not here.
     """
     cached = _SIMPLIFY_MEMO.get(expr.eid)
     if cached is not None:
@@ -67,6 +127,7 @@ def _as_var_eq_const(expr: Expr) -> tuple[Var, int] | None:
     return None
 
 
+# contract: ignore[C007] legacy differential baseline kept verbatim; the live rules are table entries in expr/rules.py
 def _rules(expr: Expr) -> Expr:
     if isinstance(expr, And):
         args = [_rules(a) for a in expr.args]
@@ -79,17 +140,19 @@ def _rules(expr: Expr) -> Expr:
                 if var in seen and seen[var] != value:
                     return FALSE
                 seen[var] = value
-        # Complement pair detection.
+        # Complement pair detection.  Probe structurally -- building
+        # lnot(arg) per argument would intern a garbage Not node per
+        # probe and grow the intern table on every pass.
         present = set(args)
         for arg in args:
-            if lnot(arg) in present:
+            if isinstance(arg, Not) and arg.arg in present:
                 return FALSE
         return land(*args)
     if isinstance(expr, Or):
         args = [_rules(a) for a in expr.args]
         present = set(args)
         for arg in args:
-            if lnot(arg) in present:
+            if isinstance(arg, Not) and arg.arg in present:
                 return TRUE
         # Enum sweep: disjunction of equalities covering every member.
         by_var: dict[Var, set[int]] = {}

@@ -51,6 +51,7 @@ from .ast import (
 )
 
 
+# contract: ignore[C007] structure-preserving leaf substitution, not an algebraic rewrite; smart constructors only re-normalise
 def _transform(
     expr: Expr, leaf_fn: Callable[[Expr], Expr], memo: dict[Expr, Expr]
 ) -> Expr:

@@ -197,9 +197,13 @@ class BddCompiler:
     signature, so same-shaped systems share one ordering decision.
     """
 
-    def __init__(self, system: SymbolicSystem):
+    def __init__(self, system: SymbolicSystem, *, presimplify=None):
         self.manager = BddManager()
         self.gates = BddGateBuilder(self.manager)
+        # Optional Expr -> Expr hook (e.g. ``expr.deep_simplify``)
+        # applied at the compile_bool entry: a smaller input DAG means
+        # fewer intermediate BDD nodes for R and the partition clusters.
+        self._presimplify = presimplify
         # Subformula compilation memos, keyed on the interned node's eid
         # (identity == structural equality in the hash-consed core): a
         # subformula shared between R, guards and queries is translated
@@ -323,6 +327,8 @@ class BddCompiler:
     def compile_bool(self, expr: Expr) -> int:
         if not expr.sort.is_bool():
             raise TypeError(f"expected bool expression, got {expr.sort}")
+        if self._presimplify is not None:
+            expr = self._presimplify(expr)
         cached = self._bool_memo.get(expr.eid)
         if cached is not None:
             return cached
@@ -602,9 +608,10 @@ class SharedBddContext:
         partitioned: bool = True,
         cluster_threshold: int = 400,
         reorder_threshold: int | None = 150_000,
+        presimplify=None,
     ):
         self._system = system
-        self.compiler = BddCompiler(system)
+        self.compiler = BddCompiler(system, presimplify=presimplify)
         self.manager = self.compiler.manager
         self.partitioned = partitioned
         self.cluster_threshold = cluster_threshold

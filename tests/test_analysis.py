@@ -528,6 +528,74 @@ class TestContractLinter:
         src = "import time\n\nt = time.monotonic()\n"
         assert lint_source(src, "s.py") == []
 
+    def test_c007_adhoc_rewrite_pass(self):
+        src = (
+            "from repro.expr.ast import And, Not, Or, land, lnot, lor\n\n"
+            "def my_simplify(e):\n"
+            "    if isinstance(e, And):\n"
+            "        return land(*(my_simplify(a) for a in e.args))\n"
+            "    if isinstance(e, Or):\n"
+            "        return lor(*(my_simplify(a) for a in e.args))\n"
+            "    if isinstance(e, Not):\n"
+            "        return lnot(my_simplify(e.arg))\n"
+            "    return e\n"
+        )
+        assert [f.code for f in lint_source(src, "s.py")] == ["C007"]
+
+    def test_c007_type_is_counts_as_dispatch(self):
+        src = (
+            "from repro.expr.ast import And, Not, Or, land\n\n"
+            "def norm(e):\n"
+            "    if type(e) is And or type(e) is Or or type(e) is Not:\n"
+            "        return land(e)\n"
+            "    return e\n"
+        )
+        assert [f.code for f in lint_source(src, "s.py")] == ["C007"]
+
+    def test_c007_pure_dispatcher_is_clean(self):
+        # Evaluators/encoders dispatch widely but never rebuild.
+        src = (
+            "from repro.expr.ast import And, Ite, Not, Or\n\n"
+            "def count(e):\n"
+            "    if isinstance(e, (And, Or, Not, Ite)):\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        assert lint_source(src, "s.py") == []
+
+    def test_c007_pure_builder_is_clean(self):
+        src = (
+            "from repro.expr.ast import land, lnot, lor\n\n"
+            "def make(a, b):\n"
+            "    return lor(land(a, b), lnot(a))\n"
+        )
+        assert lint_source(src, "s.py") == []
+
+    def test_c007_narrow_dispatch_is_clean(self):
+        # Fewer than three composite classes: a special case, not a pass.
+        src = (
+            "from repro.expr.ast import And, Not, land, lnot\n\n"
+            "def tweak(e):\n"
+            "    if isinstance(e, And) or isinstance(e, Not):\n"
+            "        return lnot(land(e))\n"
+            "    return e\n"
+        )
+        assert lint_source(src, "s.py") == []
+
+    def test_c007_exempt_in_rule_table_modules(self):
+        src = (
+            "from repro.expr.ast import And, Not, Or, land, lnot, lor\n\n"
+            "def rewrite(e):\n"
+            "    if isinstance(e, (And, Or, Not)):\n"
+            "        return lnot(lor(land(e)))\n"
+            "    return e\n"
+        )
+        assert lint_source(src, "src/repro/expr/rewrite.py") == []
+        assert lint_source(src, "src/repro/expr/rules.py") == []
+        assert [
+            f.code for f in lint_source(src, "src/repro/mc/symbolic.py")
+        ] == ["C007"]
+
     def test_suppression_with_reason(self):
         src = (
             "import copy\n\n"

@@ -10,6 +10,8 @@ from hypothesis import given, settings, strategies as st
 from repro.expr import (
     BOOL,
     Var,
+    compile_expr,
+    deep_simplify,
     enum_sort,
     eq,
     evaluate,
@@ -17,6 +19,7 @@ from repro.expr import (
     int_sort,
     ite,
     land,
+    legacy_simplify,
     lnot,
     lor,
     simplify,
@@ -71,6 +74,39 @@ def test_simplify_preserves_semantics(expr, env):
 def test_simplify_is_idempotent(expr, env):
     once = simplify(expr)
     assert simplify(once) == once
+
+
+@settings(max_examples=120, deadline=None)
+@given(expr=bool_exprs(3), env=ENVS)
+def test_engine_matches_legacy_semantically(expr, env):
+    """The table-driven engine and the legacy pass agree as functions
+    (checked through the compiled evaluator, the hot-path consumer)."""
+    engine_fn = compile_expr(simplify(expr))
+    legacy_fn = compile_expr(legacy_simplify(expr))
+    original = compile_expr(expr)(env)
+    assert bool(engine_fn(env)) == bool(legacy_fn(env)) == bool(original)
+
+
+@settings(max_examples=120, deadline=None)
+@given(expr=bool_exprs(3), env=ENVS)
+def test_deep_simplify_preserves_semantics(expr, env):
+    """The extended rule set (bounds context, chaining, NNF, absorption)
+    is a strictly stronger but still sound simplifier."""
+    assert holds(deep_simplify(expr), env) == holds(expr, env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=bool_exprs(3))
+def test_engine_simplify_idempotent_by_identity(expr):
+    once = simplify(expr)
+    assert simplify(once) is once
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=bool_exprs(3))
+def test_deep_simplify_idempotent_by_identity(expr):
+    once = deep_simplify(expr)
+    assert deep_simplify(once) is once
 
 
 @settings(max_examples=60, deadline=None)
